@@ -1,0 +1,31 @@
+"""Fig. 11 / Fig. 12 / Table IV benchmarks: auto-tuning behaviour."""
+
+import pytest
+
+from repro.experiments import fig11_sampling_time, fig12_sampling_cr, table4_sampling_pipeline
+
+
+def test_fig11_sampling_time(once):
+    result = once(fig11_sampling_time.run, ("SSH", "CESM-T"), (0.01, 0.1))
+    rows = {(r["Dataset"], r["Sampling rate"]): r for r in result.rows}
+    # SSH is periodic: 192 pipelines; CESM-T: 96 (paper §VII-C2)
+    assert rows[("SSH", 0.01)]["Pipelines"] == 192
+    assert rows[("CESM-T", 0.01)]["Pipelines"] == 96
+    # higher rate costs more time
+    assert rows[("CESM-T", 0.1)]["Tuning time s"] > rows[("CESM-T", 0.01)]["Tuning time s"]
+
+
+def test_fig12_ordering_preserved(once):
+    result = once(fig12_sampling_cr.run, "SSH", (0.1, 0.01), 1e-3, 4)
+    for row in result.rows:
+        assert row["Spearman rho vs true"] > 0.5
+        assert row["Loss %"] < 30
+
+
+def test_table4_loss_grows_as_rate_shrinks(once):
+    result = once(table4_sampling_pipeline.run, "SSH", (1.0, 0.01, 0.001))
+    losses = [r["Loss %"] for r in result.rows]
+    assert losses[0] == pytest.approx(0.0)
+    assert all(l < 35 for l in losses)
+    # the tuner keeps finding the period regardless of rate (paper Table IV)
+    assert all(r["Periodicity"] == 12 for r in result.rows)

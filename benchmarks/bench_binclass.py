@@ -1,0 +1,28 @@
+"""Fig. 5 benchmark + bin-classification design ablations (λ, j/k)."""
+
+from repro.experiments import fig5_quantbins
+from repro.experiments.ablations import group_count_sweep, lambda_sweep
+
+
+def test_fig5_bins_follow_topography(once):
+    result = once(fig5_quantbins.run, "CESM-T")
+    cross_height = [r["Bin-map correlation"] for r in result.rows
+                    if "terrain" not in r["Pair"]]
+    # bin maps at different heights correlate (paper's Fig. 5 observation)
+    assert all(c > 0 for c in cross_height)
+    assert max(cross_height) > 0.3
+
+
+def test_lambda_sweep(once):
+    result = once(lambda_sweep, "CESM-T")
+    crs = {r["λ"]: r["CR"] for r in result.rows}
+    # λ=0.4 (Theorem 2) must be within 5% of the best sweep value
+    assert crs[0.4] > 0.95 * max(crs.values())
+
+
+def test_group_count_sweep(once):
+    result = once(group_count_sweep, "CESM-T")
+    crs = {(r["j"], r["k"]): r["CR"] for r in result.rows}
+    # paper §VI-E: going beyond j=k=1 buys nothing significant
+    assert crs[(2, 2)] < 1.05 * crs[(1, 1)]
+    assert crs[(2, 1)] < 1.05 * crs[(1, 1)]

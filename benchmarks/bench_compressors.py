@@ -1,0 +1,47 @@
+"""Per-codec compression/decompression throughput on a fixed workload.
+
+Not a paper table, but the §VII-C claim "CliZ has comparable compression
+and decompression speeds [to SZ3]... substantially faster than SPERR" is a
+throughput statement; this measures it on the reproduction.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CliZ, QoZ, SPERR, SZ3, ZFP
+from repro.datasets import load
+from repro.experiments.common import rel_eb_to_abs
+
+FIELD = load("CESM-T", shape=(13, 60, 120))
+EB = rel_eb_to_abs(FIELD, 1e-3)
+CODECS = {"cliz": CliZ, "sz3": SZ3, "qoz": QoZ, "zfp": ZFP, "sperr": SPERR}
+
+
+@pytest.mark.parametrize("name", list(CODECS))
+def test_compress_throughput(benchmark, name):
+    comp = CODECS[name]()
+    blob = benchmark.pedantic(
+        comp.compress, args=(FIELD.data,), kwargs={"abs_eb": EB},
+        rounds=2, iterations=1, warmup_rounds=0,
+    )
+    assert len(blob) < FIELD.data.nbytes
+
+
+@pytest.mark.parametrize("name", list(CODECS))
+def test_decompress_throughput(benchmark, name):
+    comp = CODECS[name]()
+    blob = comp.compress(FIELD.data, abs_eb=EB)
+    dec = benchmark.pedantic(comp.decompress, args=(blob,),
+                             rounds=2, iterations=1, warmup_rounds=0)
+    assert dec.shape == FIELD.data.shape
+
+
+def test_encoding_throughput(benchmark):
+    """Huffman+LZ on a realistic skewed code stream (1M symbols)."""
+    from repro.core.codec import encode_code_stream
+    rng = np.random.default_rng(0)
+    codes = np.where(rng.random(1_000_000) < 0.85, 32768,
+                     32768 + rng.integers(-40, 41, 1_000_000))
+    blob = benchmark.pedantic(encode_code_stream, args=(codes,),
+                              rounds=2, iterations=1, warmup_rounds=0)
+    assert len(blob) < codes.size

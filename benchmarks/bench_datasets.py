@@ -1,0 +1,27 @@
+"""Table III / Fig. 3 benchmarks: dataset generation and mask maps."""
+
+from repro.datasets import load
+from repro.experiments import fig3_maskmap, table3_datasets
+
+
+def test_table3_inventory(once):
+    result = once(table3_datasets.run)
+    assert len(result.rows) == 6
+    by_name = {r["Name"]: r for r in result.rows}
+    assert by_name["SOILLIQ"]["Valid frac"] < 0.4  # ~70% of Earth is water
+    assert by_name["SSH"]["Period"] == "Yes"
+    assert by_name["Hurricane-T"]["Mask"] == "No"
+
+
+def test_fig3_mask_categories(once):
+    result = once(fig3_maskmap.run, "SSH")
+    by = {r["Category"].split()[0]: r for r in result.rows}
+    # all three of the paper's mask-map categories are present
+    assert by["0"]["Points"] > 0
+    assert by["positive"]["Regions"] >= 1 and by["positive"]["Points"] > 0
+    assert by["negative"]["Regions"] >= 1
+
+
+def test_generation_speed(benchmark):
+    field = benchmark(load, "SSH")
+    assert field.data.size > 100_000

@@ -1,0 +1,36 @@
+"""Remaining design-choice ablations: eb split, LZ stage, fitting."""
+
+from repro import CliZ
+from repro.core import PipelineConfig
+from repro.datasets import load
+from repro.experiments.ablations import lz_stage_ablation, template_ratio_sweep
+from repro.experiments.common import rel_eb_to_abs
+
+
+def test_template_eb_ratio(once):
+    result = once(template_ratio_sweep, "SSH")
+    crs = {r["template share"]: r["CR"] for r in result.rows}
+    # the 0.1 default must be within 10% of the best split tried
+    assert crs[0.1] > 0.9 * max(crs.values())
+
+
+def test_lz_stage_pays_for_itself(once):
+    result = once(lz_stage_ablation, "SSH")
+    rows = {r["Stage"]: r["Bytes"] for r in result.rows}
+    assert rows["Huffman + LZ"] <= rows["Huffman only"]
+
+
+def test_fitting_choice_matters(once):
+    """Linear vs cubic is a real trade-off the tuner must arbitrate."""
+    field = load("CESM-T", shape=(13, 60, 120))
+    eb = rel_eb_to_abs(field, 1e-3)
+
+    def both():
+        out = {}
+        for fitting in ("linear", "cubic"):
+            cfg = PipelineConfig.default(3).with_(fitting=fitting)
+            out[fitting] = len(CliZ(cfg).compress(field.data, abs_eb=eb))
+        return out
+
+    sizes = once(both)
+    assert sizes["linear"] != sizes["cubic"]

@@ -1,0 +1,24 @@
+"""Extension benchmarks: strategy interactions and the entropy stage."""
+
+from repro.experiments import interactions
+from repro.experiments.ablations import entropy_stage_ablation
+
+
+def test_interaction_matrix(once):
+    result = once(interactions.run, "SSH")
+    assert len(result.rows) == 8
+    crs = {(r["Mask"], r["Periodicity"], r["Layout"] != "012"): r["CR"] for r in result.rows}
+    # every strategy on beats every strategy off
+    assert crs[("Yes", "Yes", True)] > crs[("No", "No", False)] * 3
+    # the mask matters more when periodicity is off (D5's overlap)
+    mask_alone = crs[("Yes", "No", False)] / crs[("No", "No", False)]
+    mask_given_periodic = crs[("Yes", "Yes", False)] / crs[("No", "Yes", False)]
+    assert mask_alone > mask_given_periodic
+
+
+def test_entropy_stage(once):
+    result = once(entropy_stage_ablation, "SSH")
+    by = {r["Stage"]: r["Bytes"] for r in result.rows}
+    # LZ never hurts Huffman; the range coder is at worst ~Huffman-sized
+    assert by["Huffman + LZ"] <= by["Huffman"]
+    assert by["Range coder"] <= by["Huffman"] * 1.02

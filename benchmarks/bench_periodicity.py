@@ -1,0 +1,22 @@
+"""Fig. 8 / Fig. 9 benchmarks: period detection and residual smoothness."""
+
+from repro.experiments import fig8_period_fft, fig9_residual
+
+
+def test_fig8_spectra_peak_at_fundamental(once):
+    result = once(fig8_period_fft.run, "SSH", 10)
+    n_time = 252
+    expected_f = n_time // 12
+    for row in result.rows:
+        assert row["Peak f"] == expected_f
+        assert row["Peak amp"] > 20 * row["Median amp"]
+    assert "detected period = 12" in result.notes[0]
+
+
+def test_fig9_residual_smoother(once):
+    result = once(fig9_residual.run, "SSH")
+    orig, resid = result.rows
+    for key in orig:
+        if key == "Data":
+            continue
+        assert resid[key] < orig[key] / 5, key

@@ -1,0 +1,18 @@
+"""Fig. 6 / Fig. 7 benchmarks: mask-aware fitting and layout diversity."""
+
+from repro.experiments import fig6_maskfit, fig7_permutation
+
+
+def test_fig6_maskfit_accuracy(once):
+    result = once(fig6_maskfit.run, "Tsfc")
+    t1, zero_fill, use_fill = (r["Mean |err|"] for r in result.rows)
+    assert t1 < zero_fill < use_fill
+
+
+def test_fig7_layout_spread(once):
+    result = once(fig7_permutation.run, "CESM-T")
+    rates = [r["Bit rate"] for r in result.rows]
+    assert len(rates) == 24  # 6 sequences x 4 fusions (paper Fig. 7)
+    assert rates == sorted(rates)
+    # the layout choice must matter (paper shows tall and short frustums)
+    assert rates[-1] / rates[0] > 1.1

@@ -1,0 +1,51 @@
+"""Fig. 10 / Fig. 14 benchmarks: rate-distortion and matched-CR quality.
+
+Regenerates the paper's central comparison on a reduced sweep (full sweeps
+are produced by ``python -m repro.experiments.fig10_rate_distortion``) and
+asserts the qualitative shape: CliZ leads the second-best compressor on the
+mask/periodicity datasets, and at matched CR its SSIM is at least on par.
+"""
+
+import pytest
+
+from repro.experiments import fig10_rate_distortion, fig14_visual_quality
+
+REL_EBS = (1e-2, 1e-3, 1e-4)
+
+
+@pytest.mark.parametrize("dataset", ["SSH", "CESM-T"])
+def test_fig10_curves(once, dataset):
+    curves = once(fig10_rate_distortion.collect_curves, dataset, REL_EBS)
+    assert set(curves) == {"CliZ", "SZ3", "QoZ", "ZFP", "SPERR"}
+    for curve in curves.values():
+        pts = curve.sorted_by_rate()
+        assert len(pts) == len(REL_EBS)
+        # tighter bounds cost more bits and deliver more PSNR
+        assert pts[0].psnr <= pts[-1].psnr + 1e-6
+    cliz = curves["CliZ"]
+    mid = sorted(p.psnr for p in cliz.points)[1]
+    cliz_cr = cliz.ratio_at_psnr(mid)
+    if dataset == "SSH":
+        # headline shape: CliZ beats everyone at the matched middle PSNR
+        second = max(c.ratio_at_psnr(mid) for n, c in curves.items() if n != "CliZ")
+        assert cliz_cr > second, f"CliZ {cliz_cr} vs second-best {second} on {dataset}"
+    else:
+        # CESM-T has no mask/periodicity; CliZ's edge is the layout search.
+        # It must beat the prediction-based second best; on our synthetic
+        # field SPERR is unusually wavelet-friendly (see EXPERIMENTS.md) so
+        # we only require CliZ to stay within 25% of the overall best.
+        pred_second = max(curves[n].ratio_at_psnr(mid) for n in ("SZ3", "QoZ"))
+        assert cliz_cr > pred_second
+        overall = max(c.ratio_at_psnr(mid) for n, c in curves.items() if n != "CliZ")
+        assert cliz_cr > 0.75 * overall
+
+
+def test_fig14_matched_cr_quality(once):
+    result = once(fig14_visual_quality.run, "SSH", 25.0)
+    rows = {r["Compressor"]: r for r in result.rows}
+    # CliZ reaches the target ratio; mask-unaware baselines may saturate
+    # below it (fill-region floor), which only flatters them here
+    assert rows["CliZ"]["CR"] == pytest.approx(25.0, rel=0.5)
+    for name, row in rows.items():
+        assert row["CR"] <= 25.0 * 1.5, name
+    assert rows["CliZ"]["SSIM"] >= max(rows["SZ3"]["SSIM"], rows["QoZ"]["SSIM"]) - 1e-6

@@ -1,0 +1,22 @@
+"""Fig. 4 and §VII-speed benchmarks."""
+
+from repro.experiments import fig4_smoothness, speed
+
+
+def test_fig4_dimension_diversity(once):
+    result = once(fig4_smoothness.run)
+    by = {r["Dataset"]: r for r in result.rows}
+    # the paper's motivating case: CESM-T is far rougher along height
+    assert by["CESM-T"]["Roughest axis"] == "height"
+    assert by["CESM-T"]["Rough/smooth"] > 5
+    # periodic monthly datasets are roughest along time (the periodic win)
+    assert by["Tsfc"]["Roughest axis"] == "time"
+
+
+def test_speed_ordering(once):
+    result = once(speed.run, "CESM-T")
+    by = {r["Codec"]: r for r in result.rows}
+    # paper §VII: CliZ comparable to SZ3, substantially faster than SPERR
+    assert by["CliZ"]["Compress MB/s"] > 0.5 * by["SZ3"]["Compress MB/s"]
+    assert by["CliZ"]["Compress MB/s"] > 3 * by["SPERR"]["Compress MB/s"]
+    assert by["CliZ"]["Decompress MB/s"] > 3 * by["SPERR"]["Decompress MB/s"]

@@ -1,0 +1,19 @@
+"""Benchmark configuration.
+
+Heavy experiment harnesses run once per benchmark (pedantic mode); the
+tuned-config cache in ``repro.experiments.common`` is shared across
+benchmarks in a session so auto-tuning cost is paid once per (dataset, eb).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

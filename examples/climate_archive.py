@@ -1,0 +1,51 @@
+"""Archive scenario: auto-tune once per climate model, compress everything.
+
+The paper's intended workflow (§IV): run the offline auto-tuner on one
+field/snapshot of a climate model, then apply the tuned pipeline to every
+dataset of that model. This example tunes on each of the six synthetic
+datasets, compresses with CliZ and the four baselines, and prints the
+comparison table.
+
+Run:  python examples/climate_archive.py [--quick]
+"""
+
+import sys
+import time
+
+from repro import AutoTuner, CliZ, QoZ, SPERR, SZ3, ZFP, decompress
+from repro.datasets import DATASETS, load
+from repro.metrics import compression_ratio, psnr
+
+
+def main(quick: bool = False) -> None:
+    names = ["SSH", "Tsfc"] if quick else list(DATASETS)
+    rel_eb = 1e-3
+    print(f"{'dataset':12s} {'codec':6s} {'CR':>8s} {'PSNR dB':>8s} {'time s':>7s}")
+    for name in names:
+        field = load(name)
+        vals = field.data[field.mask] if field.mask is not None else field.data
+        eb = rel_eb * float(vals.max() - vals.min())
+
+        t0 = time.perf_counter()
+        tuner = AutoTuner(sampling_rate=0.01, **field.tuner_kwargs())
+        tuned = tuner.tune(field.data, abs_eb=eb, mask=field.mask)
+        print(f"# {name}: tuned in {time.perf_counter() - t0:.1f}s "
+              f"-> {tuned.best.describe()}")
+
+        codecs = [("CliZ", CliZ(tuned.best), True), ("SZ3", SZ3(), False),
+                  ("QoZ", QoZ(), False), ("ZFP", ZFP(), False), ("SPERR", SPERR(), False)]
+        for label, comp, pass_mask in codecs:
+            kwargs = {"abs_eb": eb}
+            if pass_mask and field.mask is not None:
+                kwargs["mask"] = field.mask
+            t0 = time.perf_counter()
+            blob = comp.compress(field.data, **kwargs)
+            elapsed = time.perf_counter() - t0
+            recon = decompress(blob)
+            print(f"{name:12s} {label:6s} "
+                  f"{compression_ratio(field.data.size, len(blob)):8.2f} "
+                  f"{psnr(field.data, recon, field.mask):8.2f} {elapsed:7.2f}")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

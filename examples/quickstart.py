@@ -1,0 +1,42 @@
+"""Quickstart: compress a climate field with CliZ and verify the bound.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CliZ, decompress
+from repro.metrics import compression_ratio, psnr
+
+
+def main() -> None:
+    # A synthetic sea-surface-temperature-like field: smooth in space with a
+    # seasonal cycle along the last axis.
+    rng = np.random.default_rng(7)
+    lat = np.linspace(-np.pi / 2, np.pi / 2, 60)
+    lon = np.linspace(0, 2 * np.pi, 90)
+    t = np.arange(120)
+    field = (
+        20 * np.cos(lat)[:, None, None]
+        + 3 * np.sin(2 * lon)[None, :, None]
+        + 5 * np.sin(2 * np.pi * t / 12)[None, None, :]
+        + 0.05 * rng.standard_normal((60, 90, 120))
+    ).astype(np.float32)
+
+    # Compress with a 1e-3 relative error bound (0.1% of the value range).
+    blob = CliZ().compress(field, rel_eb=1e-3)
+    recon = decompress(blob)
+
+    eb_abs = 1e-3 * (field.max() - field.min())
+    max_err = np.abs(recon.astype(np.float64) - field.astype(np.float64)).max()
+    print(f"original size : {field.nbytes} bytes ({field.shape}, {field.dtype})")
+    print(f"compressed    : {len(blob)} bytes")
+    print(f"ratio         : {compression_ratio(field.size, len(blob)):.1f}x (vs 32-bit floats)")
+    print(f"PSNR          : {psnr(field, recon):.1f} dB")
+    print(f"max |error|   : {max_err:.3g}  (bound {eb_abs:.3g})")
+    assert max_err <= eb_abs
+    print("error bound holds ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Runs all experiment harnesses in sequence and prints their tables; this is
+the script that produced the measurements recorded in EXPERIMENTS.md.
+
+Run:  python examples/reproduce_paper.py            # full (several minutes)
+      python examples/reproduce_paper.py --quick    # reduced sweeps
+"""
+
+import importlib
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+QUICK_OVERRIDES = {
+    "fig10_rate_distortion": {"datasets": ("SSH", "CESM-T"), "rel_ebs": (1e-2, 1e-3)},
+    "fig11_sampling_time": {"rates": (0.01, 0.1)},
+    "fig12_sampling_cr": {"rates": (0.1, 0.01), "max_layouts": 4},
+    "table4_sampling_pipeline": {"rates": (1.0, 0.01)},
+    "fig13_transfer": {"core_counts": (256, 1024)},
+}
+
+
+def main(quick: bool = False) -> None:
+    t_start = time.perf_counter()
+    for module_name in ALL_EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        kwargs = QUICK_OVERRIDES.get(module_name, {}) if quick else {}
+        t0 = time.perf_counter()
+        result = module.run(**kwargs)
+        result.print()
+        print(f"   [{time.perf_counter() - t0:.1f}s]\n")
+    print(f"total: {time.perf_counter() - t_start:.1f}s")
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv)

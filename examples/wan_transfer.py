@@ -1,0 +1,19 @@
+"""WAN transfer scenario: why compression ratio wins the end-to-end race.
+
+Reproduces the mechanism behind the paper's Fig. 13 at example scale:
+compress the SSH dataset with CliZ / SZ3 / ZFP tuned to the same PSNR,
+then simulate shipping one file per core across a shared WAN link.
+
+Run:  python examples/wan_transfer.py
+"""
+
+from repro.experiments.fig13_transfer import run
+
+
+def main() -> None:
+    result = run(dataset="SSH", target_psnr=90.0, core_counts=(256, 512, 1024))
+    result.print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim for offline editable installs (see pyproject.toml note)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+)

@@ -1,0 +1,70 @@
+"""repro — a from-scratch reproduction of CliZ (IPDPS 2024).
+
+CliZ is an error-bounded lossy compressor optimized for climate datasets:
+mask-map-aware spline prediction, dimension permutation/fusion, periodic
+component extraction, and multi-Huffman quantization-bin classification on
+top of the SZ3 framework. This package implements CliZ, the substrates it
+builds on, the four baselines it is evaluated against (SZ3, QoZ, ZFP,
+SPERR), synthetic equivalents of the paper's climate datasets, the
+evaluation metrics, and a WAN-transfer simulator.
+
+Quick start::
+
+    import numpy as np
+    from repro import CliZ, decompress
+
+    data = np.fromfile("field.f32", dtype=np.float32).reshape(26, 180, 360)
+    blob = CliZ().compress(data, rel_eb=1e-3)
+    recon = decompress(blob)          # routes on the embedded codec tag
+"""
+
+from repro.baselines import BitGrooming, DigitRounding, QoZ, SPERR, SZ2, SZ3, TTHRESH, ZFP
+from repro.core import AutoTuner, CliZ, Layout, PipelineConfig
+from repro.encoding.container import Container
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CliZ",
+    "SZ3",
+    "SZ2",
+    "QoZ",
+    "ZFP",
+    "SPERR",
+    "TTHRESH",
+    "BitGrooming",
+    "DigitRounding",
+    "AutoTuner",
+    "PipelineConfig",
+    "Layout",
+    "compressor_for",
+    "decompress",
+    "COMPRESSORS",
+]
+
+#: Registry of available compressors by codec name.
+COMPRESSORS = {
+    "cliz": CliZ,
+    "sz3": SZ3,
+    "sz2": SZ2,
+    "qoz": QoZ,
+    "zfp": ZFP,
+    "sperr": SPERR,
+    "tthresh": TTHRESH,
+    "bitgroom": BitGrooming,
+    "digitround": DigitRounding,
+}
+
+
+def compressor_for(name: str):
+    """Instantiate a compressor by codec name (``'cliz'``, ``'sz3'``, ...)."""
+    try:
+        return COMPRESSORS[name.lower()]()
+    except KeyError:
+        raise ValueError(f"unknown codec {name!r}; available: {sorted(COMPRESSORS)}") from None
+
+
+def decompress(blob: bytes):
+    """Decompress any blob produced by this package (routes on codec tag)."""
+    codec = Container.peek_codec(blob)
+    return compressor_for(codec).decompress(blob)

@@ -1,0 +1,17 @@
+"""Baseline lossy compressors the paper evaluates against or cites.
+
+Primary comparison set (paper §VII): SZ3, QoZ, ZFP, SPERR.
+Related-work set (paper §II, via the Underwood et al. climate evaluation):
+TTHRESH, BitGrooming, DigitRounding.
+"""
+
+from repro.baselines.bitgrooming import BitGrooming
+from repro.baselines.digitrounding import DigitRounding
+from repro.baselines.qoz import QoZ
+from repro.baselines.sperr import SPERR
+from repro.baselines.sz2 import SZ2
+from repro.baselines.sz3 import SZ3
+from repro.baselines.tthresh import TTHRESH
+from repro.baselines.zfp import ZFP
+
+__all__ = ["SZ3", "SZ2", "QoZ", "ZFP", "SPERR", "TTHRESH", "BitGrooming", "DigitRounding"]

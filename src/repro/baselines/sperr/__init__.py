@@ -1,0 +1,5 @@
+"""SPERR baseline: wavelet + set-partitioning compression."""
+
+from repro.baselines.sperr.compressor import SPERR
+
+__all__ = ["SPERR"]

@@ -1,0 +1,5 @@
+"""ZFP baseline: transform-based fixed-accuracy compression."""
+
+from repro.baselines.zfp.compressor import ZFP
+
+__all__ = ["ZFP"]

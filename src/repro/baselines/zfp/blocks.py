@@ -1,0 +1,62 @@
+"""4^d block partitioning for the ZFP baseline.
+
+ZFP operates on independent blocks of 4 values per dimension. Partial
+blocks at array edges are padded by replicating the last valid sample
+(value-preserving and cheap to decorrelate), and the padding is discarded
+on reassembly. All blocks are gathered into a single ``(n_blocks, 4^d)``
+matrix so the transform and bit-plane extraction stages run vectorized
+across every block at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BLOCK_SIDE", "gather_blocks", "scatter_blocks", "block_grid_shape"]
+
+BLOCK_SIDE = 4
+
+
+def block_grid_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Number of blocks along each dimension."""
+    return tuple((n + BLOCK_SIDE - 1) // BLOCK_SIDE for n in shape)
+
+
+def _padded_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(g * BLOCK_SIDE for g in block_grid_shape(shape))
+
+
+def gather_blocks(data: np.ndarray) -> np.ndarray:
+    """Return a ``(n_blocks, 4^d)`` matrix of edge-padded blocks (C order)."""
+    shape = data.shape
+    d = data.ndim
+    padded = np.empty(_padded_shape(shape), dtype=data.dtype)
+    padded[tuple(slice(0, n) for n in shape)] = data
+    # replicate the last valid hyperplane into the padding, axis by axis
+    for axis, n in enumerate(shape):
+        pn = padded.shape[axis]
+        if pn > n:
+            src = tuple(slice(None) if a != axis else slice(n - 1, n) for a in range(d))
+            dst = tuple(slice(None) if a != axis else slice(n, pn) for a in range(d))
+            padded[dst] = padded[src]
+    grid = block_grid_shape(shape)
+    # reshape to (g0, 4, g1, 4, ...) then bring block axes forward
+    interleaved = padded.reshape(
+        tuple(v for g in grid for v in (g, BLOCK_SIDE))
+    )
+    order = tuple(range(0, 2 * d, 2)) + tuple(range(1, 2 * d, 2))
+    blocks = np.transpose(interleaved, order).reshape(int(np.prod(grid)), BLOCK_SIDE ** d)
+    return np.ascontiguousarray(blocks)
+
+
+def scatter_blocks(blocks: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Inverse of :func:`gather_blocks`: reassemble and strip padding."""
+    d = len(shape)
+    grid = block_grid_shape(shape)
+    interleaved = blocks.reshape(grid + (BLOCK_SIDE,) * d)
+    # invert the transpose: axes currently (g0..gd-1, b0..bd-1)
+    order = []
+    for i in range(d):
+        order.extend([i, d + i])
+    padded = np.transpose(interleaved, order).reshape(_padded_shape(shape))
+    return np.ascontiguousarray(padded[tuple(slice(0, n) for n in shape)])

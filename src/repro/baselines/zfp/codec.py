@@ -1,0 +1,116 @@
+"""ZFP embedded bit-plane coding: negabinary + group-testing.
+
+Transformed block coefficients are mapped to negabinary (so truncating low
+bit planes refines values towards zero from either sign), transposed into
+per-block bit-plane masks, and coded MSB-plane-first with ZFP's embedded
+scheme: for each plane, the bits of already-significant coefficients are
+emitted verbatim, then the insignificant tail is coded by group tests
+(one bit asks "any significant coefficient left?", followed by a unary
+scan up to the next one-bit). The significant-prefix length ``n`` carries
+across planes, which is what makes the stream embedded.
+
+Plane masks are precomputed vectorized for all blocks; only the
+data-dependent bit emission runs in a scalar loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.bitstream import BitReader, BitWriter
+
+__all__ = [
+    "to_negabinary",
+    "from_negabinary",
+    "plane_masks",
+    "encode_block_planes",
+    "decode_block_planes",
+]
+
+_NB_MASK = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def to_negabinary(values: np.ndarray) -> np.ndarray:
+    """Map int64 two's-complement values to unsigned negabinary (uint64)."""
+    u = values.astype(np.int64).view(np.uint64)
+    return (u + _NB_MASK) ^ _NB_MASK
+
+
+def from_negabinary(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`to_negabinary`."""
+    u = values.astype(np.uint64)
+    return ((u ^ _NB_MASK) - _NB_MASK).view(np.int64)
+
+
+def plane_masks(coeffs_nb: np.ndarray, n_planes: int) -> np.ndarray:
+    """Per-(block, plane) significance masks.
+
+    ``coeffs_nb`` is (n_blocks, block_size) negabinary. Returns a
+    (n_blocks, n_planes) uint64 matrix where bit *i* of ``[b, k]`` is bit
+    plane ``k`` of coefficient *i* in block *b* (requires block_size <= 64,
+    true for every 1D-3D ZFP block).
+    """
+    n_blocks, size = coeffs_nb.shape
+    if size > 64:
+        raise ValueError("plane_masks supports at most 64 coefficients per block")
+    out = np.zeros((n_blocks, n_planes), dtype=np.uint64)
+    shifts = np.arange(size, dtype=np.uint64)[None, :]
+    for k in range(n_planes):
+        bits = (coeffs_nb >> np.uint64(k)) & np.uint64(1)
+        out[:, k] = (bits << shifts).sum(axis=1, dtype=np.uint64)
+    return out
+
+
+def encode_block_planes(planes: list[int], size: int, n_planes: int,
+                        writer: BitWriter, kmin: int = 0) -> None:
+    """Embedded group-testing encoder for one block.
+
+    ``planes[k]`` is the bit mask of plane ``k`` (k = n_planes-1 is the
+    MSB plane, encoded first). Bit *i* of a mask is coefficient *i*'s bit.
+    Planes below ``kmin`` are dropped (the fixed-accuracy cutoff).
+    """
+    n = 0
+    for k in range(n_planes - 1, kmin - 1, -1):
+        x = planes[k]
+        # verbatim bits of the already-significant prefix
+        if n:
+            writer.write(x & ((1 << n) - 1), n)
+            x >>= n
+        # group-test the remainder: "anything left?" + unary scan to next 1
+        m = n
+        while m < size:
+            if x == 0:
+                writer.write_bit(0)
+                break
+            writer.write_bit(1)
+            while True:
+                bit = x & 1
+                x >>= 1
+                m += 1
+                writer.write_bit(bit)
+                if bit or m == size:
+                    break
+        n = m
+
+
+def decode_block_planes(size: int, n_planes: int, reader: BitReader,
+                        kmin: int = 0) -> list[int]:
+    """Inverse of :func:`encode_block_planes`; returns plane masks."""
+    planes = [0] * n_planes
+    n = 0
+    for k in range(n_planes - 1, kmin - 1, -1):
+        x = reader.read(n) if n else 0
+        m = n
+        while m < size:
+            if not reader.read_bit():
+                break
+            while True:
+                bit = reader.read_bit()
+                if bit:
+                    x |= 1 << m
+                m += 1
+                if bit or m == size:
+                    break
+        planes[k] = x
+        n = m
+    return planes

@@ -1,0 +1,29 @@
+"""CliZ core: the paper's contribution (pipeline, tuner, compressor)."""
+
+from repro.core.autotune import AutoTuner, AutoTuneResult, TrialResult
+from repro.core.binclass import BinClassification, classify_bins, undo_shift
+from repro.core.compressor import CliZ, resolve_error_bound
+from repro.core.dims import Layout, apply_layout, enumerate_layouts, layout_name, undo_layout
+from repro.core.periodicity import detect_period, merge_periodic, row_spectra, split_periodic
+from repro.core.pipeline import PipelineConfig
+
+__all__ = [
+    "AutoTuner",
+    "AutoTuneResult",
+    "TrialResult",
+    "BinClassification",
+    "classify_bins",
+    "undo_shift",
+    "CliZ",
+    "resolve_error_bound",
+    "Layout",
+    "apply_layout",
+    "undo_layout",
+    "enumerate_layouts",
+    "layout_name",
+    "detect_period",
+    "split_periodic",
+    "merge_periodic",
+    "row_spectra",
+    "PipelineConfig",
+]

@@ -1,0 +1,274 @@
+"""The CliZ error-bounded lossy compressor (the paper's contribution).
+
+``CliZ.compress`` orchestrates the full pipeline of Fig. 1:
+
+1. optional mask-map handling (§VI-B): masked points are excluded from the
+   stream, never referenced by predictions, and restored to the dataset's
+   fill value on decompression;
+2. optional periodic-component extraction (§VI-D): FFT-estimated period,
+   template/residual split, each compressed with its own share of the error
+   bound;
+3. layout transform (§VI-C): dimension permutation + fusion;
+4. multigrid spline prediction with mask-aware Theorem-1 coefficients and
+   linear-scale quantization (the SZ3 framework);
+5. optional quantization-bin classification + multi-Huffman coding (§VI-E),
+   otherwise classic single-tree Huffman; both post-processed by LZ.
+
+The output is a self-describing :class:`~repro.encoding.container.Container`
+blob; ``CliZ.decompress`` needs nothing but the blob.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.binclass import BinClassification, classify_bins, undo_shift
+from repro.core.codec import (
+    decode_code_stream,
+    decode_floats,
+    encode_code_stream,
+    encode_floats,
+)
+from repro.core.dims import apply_layout, undo_layout
+from repro.core.periodicity import detect_period, merge_periodic, split_periodic
+from repro.core.pipeline import PipelineConfig
+from repro.encoding.container import Container
+from repro.encoding.lz import lz_compress, lz_decompress
+from repro.encoding.multihuffman import decode_grouped, encode_grouped
+from repro.encoding.rle import pack_bitmap, unpack_bitmap
+from repro.prediction.interpolation import (
+    InterpSpec,
+    interp_compress,
+    interp_decompress,
+    traversal_indices,
+)
+from repro.utils.validation import check_array, check_error_bound, check_mask, ensure_float
+
+__all__ = ["CliZ", "resolve_error_bound"]
+
+_CODEC = "cliz"
+
+
+def resolve_error_bound(data: np.ndarray, abs_eb: float | None, rel_eb: float | None,
+                        mask: np.ndarray | None = None) -> float:
+    """Turn (absolute | relative) user bounds into one absolute bound.
+
+    Relative bounds are scaled by the value range of *valid* points, the
+    convention used throughout the paper's evaluation.
+    """
+    if (abs_eb is None) == (rel_eb is None):
+        raise ValueError("specify exactly one of abs_eb / rel_eb")
+    if abs_eb is not None:
+        return check_error_bound(abs_eb, name="abs_eb")
+    rel = check_error_bound(rel_eb, name="rel_eb")
+    vals = data[mask] if mask is not None else data
+    rng = float(np.max(vals) - np.min(vals))
+    if rng <= 0.0:
+        return rel  # constant field: any positive bound works
+    return rel * rng
+
+
+def _hpos_grid(shape: tuple[int, ...], horiz_axes: tuple[int, int]) -> np.ndarray:
+    """Flat horizontal-location index (lat * n_lon + lon) per grid point."""
+    lat, lon = horiz_axes
+    n_lon = shape[lon]
+    lat_idx = np.arange(shape[lat], dtype=np.int64).reshape(
+        tuple(-1 if i == lat else 1 for i in range(len(shape)))
+    )
+    lon_idx = np.arange(n_lon, dtype=np.int64).reshape(
+        tuple(-1 if i == lon else 1 for i in range(len(shape)))
+    )
+    return np.ascontiguousarray(np.broadcast_to(lat_idx * n_lon + lon_idx, shape))
+
+
+def _mask_time_invariant(mask: np.ndarray, time_axis: int) -> bool:
+    moved = np.moveaxis(mask, time_axis, 0)
+    return bool((moved == moved[0]).all())
+
+
+class CliZ:
+    """CliZ compressor facade.
+
+    Parameters
+    ----------
+    config:
+        The compression pipeline, usually produced by
+        :class:`repro.core.autotune.AutoTuner`. Defaults to a neutral
+        pipeline (natural order, cubic fitting, no extras) matching the
+        data's dimensionality at compress time.
+    """
+
+    codec_name = _CODEC
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
+                 rel_eb: float | None = None, mask: np.ndarray | None = None,
+                 fill_value: float | None = None) -> bytes:
+        """Compress ``data`` under a pointwise error bound; returns a blob.
+
+        ``mask`` marks valid points (True). ``fill_value`` is what masked
+        points decompress to (default: the first masked value in ``data``,
+        matching CESM files where invalid points carry a fill constant).
+        """
+        arr = check_array(data)
+        orig_dtype = arr.dtype
+        work = ensure_float(arr)
+        cfg = self.config or PipelineConfig.default(work.ndim)
+        if cfg.layout.ndim_in != work.ndim:
+            raise ValueError(
+                f"config layout is {cfg.layout.ndim_in}D but data is {work.ndim}D"
+            )
+        mask = check_mask(mask, work.shape)
+        eb = resolve_error_bound(work, abs_eb, rel_eb, mask)
+        use_mask = mask is not None and cfg.use_mask
+        eff_mask = mask if use_mask else None
+
+        if fill_value is None:
+            if mask is not None and (~mask).any():
+                fill_value = float(work[~mask].flat[0])
+            else:
+                fill_value = 0.0
+
+        container = Container(_CODEC)
+        header: dict = {
+            "shape": list(work.shape),
+            "dtype": orig_dtype.str,
+            "eb": eb,
+            "config": cfg.to_dict(),
+            "fill_value": float(fill_value),
+            "has_mask": bool(use_mask),
+        }
+        if use_mask:
+            container.add_section("mask", pack_bitmap(eff_mask))
+
+        # ---- periodic split ------------------------------------------- #
+        period = None
+        if cfg.periodic and cfg.time_axis is not None:
+            n_time = work.shape[cfg.time_axis]
+            mask_ok = eff_mask is None or _mask_time_invariant(eff_mask, cfg.time_axis)
+            if n_time >= 8 and mask_ok:
+                period = cfg.period or detect_period(work, cfg.time_axis, mask=eff_mask)
+                if period is not None and not (2 <= period <= n_time // 2):
+                    period = None
+        header["period"] = period
+
+        components: list[dict] = []
+        if period is not None:
+            template, residual = split_periodic(work, cfg.time_axis, period)
+            eb_t = eb * cfg.template_eb_ratio
+            eb_r = eb - eb_t
+            t_mask = r_mask = None
+            if eff_mask is not None:
+                moved = np.moveaxis(eff_mask, cfg.time_axis, 0)
+                t_mask = np.ascontiguousarray(
+                    np.moveaxis(moved[:period], 0, cfg.time_axis)
+                )
+                r_mask = eff_mask
+            self._compress_component("template", template, eb_t, t_mask, cfg,
+                                     container, components)
+            self._compress_component("residual", residual, eb_r, r_mask, cfg,
+                                     container, components)
+        else:
+            self._compress_component("main", work, eb, eff_mask, cfg,
+                                     container, components)
+
+        header["components"] = components
+        container.header = header
+        return container.to_bytes()
+
+    def _compress_component(self, name: str, arr: np.ndarray, eb: float,
+                            mask: np.ndarray | None, cfg: PipelineConfig,
+                            container: Container, components: list[dict]) -> None:
+        laid = apply_layout(arr, cfg.layout)
+        lmask = apply_layout(mask, cfg.layout) if mask is not None else None
+        order = tuple(range(laid.ndim))
+        spec = InterpSpec(order=order, fitting=cfg.fitting)
+        res = interp_compress(laid, eb, spec, mask=lmask)
+
+        if cfg.binclass and cfg.horiz_axes is not None:
+            hgrid = apply_layout(_hpos_grid(arr.shape, cfg.horiz_axes), cfg.layout).ravel()
+            tidx = traversal_indices(laid.shape, order, lmask)
+            hpos = hgrid[tidx]
+            lat, lon = cfg.horiz_axes
+            n_hpos = arr.shape[lat] * arr.shape[lon]
+            cls, shifted, groups = classify_bins(
+                res.codes, hpos, n_hpos, spec.radius,
+                j=cfg.binclass_j, k=cfg.binclass_k, lam=cfg.binclass_lambda,
+            )
+            container.add_section(f"{name}.codes",
+                                  lz_compress(encode_grouped(shifted, groups, cls.n_groups)))
+            container.add_section(f"{name}.cls", cls.serialize())
+        else:
+            container.add_section(f"{name}.codes", encode_code_stream(res.codes))
+        container.add_section(f"{name}.unpred", encode_floats(res.unpredictable))
+        components.append({
+            "name": name,
+            "eb": eb,
+            "shape": list(arr.shape),
+            "mask": mask is not None,
+        })
+
+    # ------------------------------------------------------------------ #
+    def decompress(self, blob: bytes) -> np.ndarray:
+        """Reconstruct the array from a CliZ container blob."""
+        container = Container.from_bytes(blob)
+        if container.codec != _CODEC:
+            raise ValueError(f"not a CliZ stream (codec {container.codec!r})")
+        header = container.header
+        cfg = PipelineConfig.from_dict(header["config"])
+        shape = tuple(header["shape"])
+        mask = None
+        if header["has_mask"]:
+            mask = unpack_bitmap(container.section("mask"), shape=shape)
+
+        period = header["period"]
+        parts: dict[str, np.ndarray] = {}
+        for comp in header["components"]:
+            name = comp["name"]
+            comp_shape = tuple(comp["shape"])
+            comp_mask = mask
+            if mask is not None and comp_shape != shape:
+                # template component: mask restricted to the first period
+                moved = np.moveaxis(mask, cfg.time_axis, 0)
+                comp_mask = np.ascontiguousarray(
+                    np.moveaxis(moved[: comp_shape[cfg.time_axis]], 0, cfg.time_axis)
+                )
+            parts[name] = self._decompress_component(
+                name, comp_shape, comp["eb"], comp_mask if comp["mask"] else None,
+                cfg, container,
+            )
+
+        if period is not None:
+            work = merge_periodic(parts["template"], parts["residual"], cfg.time_axis)
+        else:
+            work = parts["main"]
+
+        if mask is not None:
+            work[~mask] = header["fill_value"]
+        return work.astype(np.dtype(header["dtype"]), copy=False)
+
+    def _decompress_component(self, name: str, shape: tuple[int, ...], eb: float,
+                              mask: np.ndarray | None, cfg: PipelineConfig,
+                              container: Container) -> np.ndarray:
+        laid_shape = cfg.layout.fused_shape(shape)
+        lmask = apply_layout(mask, cfg.layout) if mask is not None else None
+        order = tuple(range(len(laid_shape)))
+        spec = InterpSpec(order=order, fitting=cfg.fitting)
+
+        if container.has_section(f"{name}.cls"):
+            cls = BinClassification.deserialize(container.section(f"{name}.cls"))
+            hgrid = apply_layout(_hpos_grid(shape, cfg.horiz_axes), cfg.layout).ravel()
+            tidx = traversal_indices(laid_shape, order, lmask)
+            hpos = hgrid[tidx]
+            grouped_blob = lz_decompress(container.section(f"{name}.codes"))
+            groups = cls.group_map[hpos]
+            shifted, _ = decode_grouped(grouped_blob, groups)
+            codes = undo_shift(shifted, hpos, cls)
+        else:
+            codes = decode_code_stream(container.section(f"{name}.codes"))
+        unpred = decode_floats(container.section(f"{name}.unpred"))
+        laid = interp_decompress(laid_shape, eb, spec, codes, unpred, mask=lmask)
+        return undo_layout(laid, shape, cfg.layout)

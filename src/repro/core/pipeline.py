@@ -1,0 +1,108 @@
+"""Compression-pipeline configuration (the auto-tuner's decision variable).
+
+A :class:`PipelineConfig` captures everything §VI-A says the tuner decides:
+
+1. the dimension sequence and fusion (:class:`repro.core.dims.Layout`),
+2. whether to attempt periodic-component extraction (the *period itself* is
+   measured at compression time, as the paper specifies),
+3. whether to use quantization-bin classification,
+4. which fitting function (linear/cubic) to use,
+
+plus what the paper says the pipeline does *not* include — mask usage is a
+user decision (``use_mask``), and the per-location classification maps and
+extracted template are produced during actual compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.dims import Layout, layout_name
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Full CliZ pipeline description for one dataset family."""
+
+    layout: Layout
+    fitting: str = "cubic"  # 'linear' | 'cubic'
+    periodic: bool = False
+    time_axis: int | None = None
+    period: int | None = None  # None -> detect during compression
+    binclass: bool = False
+    horiz_axes: tuple[int, int] | None = None  # (lat, lon) original axes
+    use_mask: bool = True
+    template_eb_ratio: float = 0.1  # fraction of eb granted to the template
+    # (the template is ~1/n_periods of the data volume, so it can afford a
+    # tight bound; 0.1 sits on the flat optimum of the eb-split ablation)
+    binclass_j: int = 1
+    binclass_k: int = 1
+    binclass_lambda: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.fitting not in ("linear", "cubic"):
+            raise ValueError(f"fitting must be 'linear' or 'cubic', got {self.fitting!r}")
+        if self.periodic and self.time_axis is None:
+            raise ValueError("periodic pipelines need a time_axis")
+        if self.binclass and self.horiz_axes is None:
+            raise ValueError("bin classification needs horiz_axes (lat, lon)")
+        if not (0.0 < self.template_eb_ratio < 1.0):
+            raise ValueError("template_eb_ratio must be in (0, 1)")
+        if self.horiz_axes is not None and len(self.horiz_axes) != 2:
+            raise ValueError("horiz_axes must name exactly two axes")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def default(cls, ndim: int) -> "PipelineConfig":
+        """A neutral pipeline: natural order, no fusion, cubic, no extras."""
+        return cls(layout=Layout.identity(ndim))
+
+    def with_(self, **changes) -> "PipelineConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        parts = [f"layout={layout_name(self.layout)}", f"fit={self.fitting}"]
+        if self.periodic:
+            parts.append(f"periodic(axis={self.time_axis}, period={self.period or 'auto'})")
+        if self.binclass:
+            parts.append(f"binclass(axes={self.horiz_axes}, λ={self.binclass_lambda})")
+        if not self.use_mask:
+            parts.append("mask=off")
+        return " ".join(parts)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        return {
+            "layout": self.layout.to_dict(),
+            "fitting": self.fitting,
+            "periodic": self.periodic,
+            "time_axis": self.time_axis,
+            "period": self.period,
+            "binclass": self.binclass,
+            "horiz_axes": list(self.horiz_axes) if self.horiz_axes else None,
+            "use_mask": self.use_mask,
+            "template_eb_ratio": self.template_eb_ratio,
+            "binclass_j": self.binclass_j,
+            "binclass_k": self.binclass_k,
+            "binclass_lambda": self.binclass_lambda,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PipelineConfig":
+        return cls(
+            layout=Layout.from_dict(d["layout"]),
+            fitting=d["fitting"],
+            periodic=d["periodic"],
+            time_axis=d["time_axis"],
+            period=d["period"],
+            binclass=d["binclass"],
+            horiz_axes=tuple(d["horiz_axes"]) if d["horiz_axes"] else None,
+            use_mask=d["use_mask"],
+            template_eb_ratio=d["template_eb_ratio"],
+            binclass_j=d.get("binclass_j", 1),
+            binclass_k=d.get("binclass_k", 1),
+            binclass_lambda=d.get("binclass_lambda", 0.4),
+        )

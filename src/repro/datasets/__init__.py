@@ -1,0 +1,35 @@
+"""Synthetic climate datasets mirroring the paper's Table III."""
+
+from repro.datasets.fields import (
+    CESM_FILL_VALUE,
+    ClimateField,
+    cesm_t,
+    hurricane_t,
+    relhum,
+    soilliq,
+    ssh,
+    tsfc,
+)
+from repro.datasets.registry import DATASETS, DatasetInfo, load, table_iii_rows
+from repro.datasets.maskmap import label_mask_regions, region_summary
+from repro.datasets.topography import roughness, synth_topography, threshold_mask
+
+__all__ = [
+    "ClimateField",
+    "CESM_FILL_VALUE",
+    "ssh",
+    "cesm_t",
+    "relhum",
+    "soilliq",
+    "tsfc",
+    "hurricane_t",
+    "DATASETS",
+    "DatasetInfo",
+    "load",
+    "table_iii_rows",
+    "synth_topography",
+    "threshold_mask",
+    "roughness",
+    "label_mask_regions",
+    "region_summary",
+]

@@ -1,0 +1,85 @@
+"""Dataset registry mirroring the paper's Table III."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.datasets.fields import (
+    ClimateField,
+    cesm_t,
+    hurricane_t,
+    relhum,
+    soilliq,
+    ssh,
+    tsfc,
+)
+
+__all__ = ["DatasetInfo", "DATASETS", "load", "table_iii_rows"]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """One row of Table III plus the generator that synthesizes it."""
+
+    name: str
+    generator: Callable[..., ClimateField]
+    paper_dims: tuple[int, ...]
+    paper_axes: tuple[str, ...]
+    has_mask: bool
+    has_period: bool
+    description: str
+
+
+DATASETS: dict[str, DatasetInfo] = {
+    "SSH": DatasetInfo(
+        "SSH", ssh, (384, 320, 1032), ("lat", "lon", "time"), True, True,
+        "Sea surface height collected once a month",
+    ),
+    "CESM-T": DatasetInfo(
+        "CESM-T", cesm_t, (26, 1800, 3600), ("height", "lat", "lon"), False, False,
+        "Atmosphere temperature at a certain time",
+    ),
+    "RELHUM": DatasetInfo(
+        "RELHUM", relhum, (26, 1800, 3600), ("height", "lat", "lon"), False, False,
+        "Atmosphere relative humidity at a certain time",
+    ),
+    "SOILLIQ": DatasetInfo(
+        "SOILLIQ", soilliq, (360, 15, 96, 144), ("time", "level", "lat", "lon"), True, True,
+        "Liquid water content in the soil collected once a month",
+    ),
+    "Tsfc": DatasetInfo(
+        "Tsfc", tsfc, (384, 320, 360), ("lat", "lon", "time"), True, True,
+        "Surface temperature of snow or ice collected once a month",
+    ),
+    "Hurricane-T": DatasetInfo(
+        "Hurricane-T", hurricane_t, (100, 500, 500), ("height", "lat", "lon"), False, False,
+        "Atmosphere temperature around Hurricane Isabel at a certain time",
+    ),
+}
+
+
+def load(name: str, **kwargs) -> ClimateField:
+    """Generate a dataset by registry name (accepts generator kwargs)."""
+    try:
+        info = DATASETS[name]
+    except KeyError:
+        raise ValueError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}") from None
+    return info.generator(**kwargs)
+
+
+def table_iii_rows() -> list[dict]:
+    """Table III as dictionaries (paper dims + generated defaults)."""
+    rows = []
+    for info in DATASETS.values():
+        field = info.generator()
+        rows.append({
+            "name": info.name,
+            "paper_dims": info.paper_dims,
+            "generated_dims": field.shape,
+            "axes": field.axes,
+            "mask": "Yes" if info.has_mask else "No",
+            "period": "Yes" if info.has_period else "No",
+            "valid_fraction": round(field.valid_fraction, 3),
+        })
+    return rows

@@ -1,0 +1,210 @@
+"""MSB-first bit-level I/O.
+
+Every entropy coder in this repository (Huffman, ZFP's embedded coder,
+SPERR's set-partitioning coder) serializes through these two classes.
+
+Design notes (per the HPC-Python guides: vectorize the hot paths, keep
+scalar paths allocation-free):
+
+* ``BitWriter`` buffers scalar writes in plain Python lists and turns bulk
+  variable-width writes (the Huffman encode path) into a single NumPy
+  bit-matrix expansion, so encoding a million codewords costs a handful of
+  array operations instead of a million Python iterations.
+* ``BitReader`` unpacks the buffer to a byte-per-bit representation once and
+  serves scalar reads from a plain ``bytes`` object (O(1) C-level indexing,
+  no per-read NumPy dispatch) and bulk fixed-width reads from the NumPy bit
+  array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitWriter", "BitReader"]
+
+_MAX_WRITE_BITS = 64
+
+
+class BitWriter:
+    """Append-only MSB-first bit stream writer.
+
+    Bits are flushed into bytes only at :meth:`getvalue` time; the final byte
+    is zero-padded on the right.
+    """
+
+    def __init__(self) -> None:
+        # Finished boolean segments (one uint8 0/1 array per bulk write).
+        self._segments: list[np.ndarray] = []
+        # Pending scalar writes (value, nbits) awaiting conversion.
+        self._pend_vals: list[int] = []
+        self._pend_lens: list[int] = []
+        self._nbits = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return self._nbits
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the ``nbits`` least-significant bits of ``value``, MSB first.
+
+        ``value`` must be non-negative and fit in ``nbits`` (<= 64) bits.
+        Writing zero bits is a no-op.
+        """
+        if nbits == 0:
+            return
+        if nbits < 0 or nbits > _MAX_WRITE_BITS:
+            raise ValueError(f"nbits must be in 0..{_MAX_WRITE_BITS}, got {nbits}")
+        if value < 0 or (nbits < 64 and value >> nbits):
+            raise ValueError(f"value {value} does not fit in {nbits} bits")
+        self._pend_vals.append(value)
+        self._pend_lens.append(nbits)
+        self._nbits += nbits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self.write(1 if bit else 0, 1)
+
+    def write_array(self, values: np.ndarray, nbits: int) -> None:
+        """Append each element of ``values`` as a fixed-width field."""
+        values = np.asarray(values, dtype=np.uint64)
+        lengths = np.full(values.shape, nbits, dtype=np.uint8)
+        self.write_varwidth(values, lengths)
+
+    def write_varwidth(self, codes: np.ndarray, lengths: np.ndarray) -> None:
+        """Append ``codes[i]`` using ``lengths[i]`` bits each (bulk path).
+
+        This is the Huffman encoder's hot path: it expands all codes into a
+        (n, max_len) bit matrix, masks out the unused high positions and
+        flattens row-major, which preserves symbol order with the MSB of each
+        code first.
+        """
+        codes = np.asarray(codes, dtype=np.uint64).ravel()
+        lengths = np.asarray(lengths, dtype=np.uint8).ravel()
+        if codes.shape != lengths.shape:
+            raise ValueError("codes and lengths must have the same shape")
+        if codes.size == 0:
+            return
+        self._flush_pending()
+        max_len = int(lengths.max())
+        if max_len == 0:
+            return
+        if max_len > _MAX_WRITE_BITS:
+            raise ValueError(f"code length {max_len} exceeds {_MAX_WRITE_BITS}")
+        # shifts[i, k] = lengths[i] - 1 - k ; bit k of the output is the
+        # (shifts)-th bit of the code, valid only while shifts >= 0.
+        ks = np.arange(max_len, dtype=np.int16)
+        shifts = lengths.astype(np.int16)[:, None] - 1 - ks[None, :]
+        valid = shifts >= 0
+        shifts_c = np.where(valid, shifts, 0).astype(np.uint64)
+        bits = ((codes[:, None] >> shifts_c) & np.uint64(1)).astype(np.uint8)
+        self._segments.append(bits[valid])
+        self._nbits += int(lengths.sum(dtype=np.int64))
+
+    def write_bool_array(self, bits: np.ndarray) -> None:
+        """Append a raw array of bits (0/1 values, one bit each)."""
+        arr = np.asarray(bits).astype(np.uint8).ravel()
+        if arr.size == 0:
+            return
+        self._flush_pending()
+        self._segments.append(arr)
+        self._nbits += arr.size
+
+    # ------------------------------------------------------------------ #
+    def _flush_pending(self) -> None:
+        if not self._pend_vals:
+            return
+        vals = np.array(self._pend_vals, dtype=np.uint64)
+        lens = np.array(self._pend_lens, dtype=np.uint8)
+        self._pend_vals = []
+        self._pend_lens = []
+        # write_varwidth counts bits again, so subtract the pending count.
+        self._nbits -= int(lens.sum(dtype=np.int64))
+        self.write_varwidth(vals, lens)
+
+    def getvalue(self) -> bytes:
+        """Pack all written bits into bytes (right-padded with zero bits)."""
+        self._flush_pending()
+        if not self._segments:
+            return b""
+        allbits = np.concatenate(self._segments) if len(self._segments) > 1 else self._segments[0]
+        self._segments = [allbits]
+        return np.packbits(allbits).tobytes()
+
+
+class BitReader:
+    """MSB-first bit stream reader over a ``bytes`` buffer."""
+
+    def __init__(self, data: bytes, *, bit_length: int | None = None) -> None:
+        self._data = bytes(data)
+        self._bits = np.unpackbits(np.frombuffer(self._data, dtype=np.uint8))
+        # bytes of 0x00/0x01 for O(1) scalar access without NumPy dispatch.
+        self._b01 = self._bits.tobytes()
+        self._pos = 0
+        self._limit = len(self._bits) if bit_length is None else int(bit_length)
+        if self._limit > len(self._bits):
+            raise ValueError("bit_length exceeds available data")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def bit_position(self) -> int:
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return self._limit - self._pos
+
+    def seek(self, bit_position: int) -> None:
+        if bit_position < 0 or bit_position > self._limit:
+            raise ValueError("seek out of range")
+        self._pos = bit_position
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` bits and return them as a non-negative int."""
+        if nbits == 0:
+            return 0
+        if nbits < 0:
+            raise ValueError("nbits must be >= 0")
+        end = self._pos + nbits
+        if end > self._limit:
+            raise EOFError(f"attempt to read past end of bit stream ({end} > {self._limit})")
+        acc = 0
+        b = self._b01
+        for i in range(self._pos, end):
+            acc = (acc << 1) | b[i]
+        self._pos = end
+        return acc
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        if self._pos >= self._limit:
+            raise EOFError("attempt to read past end of bit stream")
+        bit = self._b01[self._pos]
+        self._pos += 1
+        return bit
+
+    def read_array(self, n: int, nbits: int) -> np.ndarray:
+        """Read ``n`` fixed-width fields of ``nbits`` bits each (vectorized)."""
+        if n < 0 or nbits < 0 or nbits > _MAX_WRITE_BITS:
+            raise ValueError("invalid n/nbits")
+        if n == 0 or nbits == 0:
+            self._check(n * nbits)
+            return np.zeros(n, dtype=np.uint64)
+        total = n * nbits
+        self._check(total)
+        chunk = self._bits[self._pos : self._pos + total].reshape(n, nbits).astype(np.uint64)
+        weights = (np.uint64(1) << np.arange(nbits - 1, -1, -1, dtype=np.uint64))
+        self._pos += total
+        return chunk @ weights
+
+    def read_bool_array(self, n: int) -> np.ndarray:
+        """Read ``n`` raw bits as a uint8 0/1 array (vectorized)."""
+        self._check(n)
+        out = self._bits[self._pos : self._pos + n].copy()
+        self._pos += n
+        return out
+
+    def _check(self, nbits: int) -> None:
+        if self._pos + nbits > self._limit:
+            raise EOFError("attempt to read past end of bit stream")

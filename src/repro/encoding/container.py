@@ -1,0 +1,122 @@
+"""Versioned binary container for compressed streams.
+
+Every compressor in this repository serializes to the same on-disk layout::
+
+    magic 'RPRZ' | version u8 | codec name | JSON header | named sections
+    | CRC32 of everything above
+
+The JSON header carries small structured metadata (shape, dtype, error
+bound, pipeline configuration); sections carry the bulk byte streams
+(Huffman payloads, tables, masks, unpredictable values). Decompressors
+dispatch on the codec name, so ``repro.decompress(blob)`` can route a blob
+produced by any compressor back to the right implementation. The trailing
+CRC32 lets :meth:`Container.from_bytes` reject bit rot / truncation before
+any decoder touches the payload.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+from repro.encoding.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["Container", "MAGIC", "VERSION"]
+
+MAGIC = b"RPRZ"
+VERSION = 1
+
+
+class Container:
+    """A codec-tagged bundle of a JSON header plus named binary sections."""
+
+    def __init__(self, codec: str, header: dict | None = None) -> None:
+        if not codec or len(codec) > 32:
+            raise ValueError("codec name must be 1..32 characters")
+        self.codec = codec
+        self.header: dict = dict(header or {})
+        self._sections: dict[str, bytes] = {}
+
+    # ------------------------------------------------------------------ #
+    def add_section(self, name: str, payload: bytes) -> None:
+        """Attach a named byte payload (names must be unique)."""
+        if name in self._sections:
+            raise ValueError(f"duplicate section {name!r}")
+        if len(name) > 64:
+            raise ValueError("section name too long")
+        self._sections[name] = bytes(payload)
+
+    def section(self, name: str) -> bytes:
+        """Fetch a named payload; raises KeyError if absent."""
+        return self._sections[name]
+
+    def has_section(self, name: str) -> bool:
+        return name in self._sections
+
+    @property
+    def section_names(self) -> list[str]:
+        return list(self._sections)
+
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        out = bytearray(MAGIC)
+        out.append(VERSION)
+        codec_b = self.codec.encode("ascii")
+        out.append(len(codec_b))
+        out += codec_b
+        header_b = json.dumps(self.header, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        encode_uvarint(len(header_b), out)
+        out += header_b
+        encode_uvarint(len(self._sections), out)
+        for name, payload in self._sections.items():
+            name_b = name.encode("ascii")
+            out.append(len(name_b))
+            out += name_b
+            encode_uvarint(len(payload), out)
+            out += payload
+        out += zlib.crc32(out).to_bytes(4, "little")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Container":
+        if blob[:4] != MAGIC:
+            raise ValueError("not a repro container (bad magic)")
+        if len(blob) < 9:
+            raise EOFError("container too short")
+        body, crc = blob[:-4], int.from_bytes(blob[-4:], "little")
+        if zlib.crc32(body) != crc:
+            raise ValueError("container checksum mismatch (corrupt or truncated)")
+        blob = body
+        version = blob[4]
+        if version != VERSION:
+            raise ValueError(f"unsupported container version {version}")
+        pos = 5
+        codec_len = blob[pos]
+        pos += 1
+        codec = blob[pos : pos + codec_len].decode("ascii")
+        pos += codec_len
+        header_len, pos = decode_uvarint(blob, pos)
+        header = json.loads(blob[pos : pos + header_len].decode("utf-8"))
+        pos += header_len
+        obj = cls(codec, header)
+        n_sections, pos = decode_uvarint(blob, pos)
+        for _ in range(n_sections):
+            name_len = blob[pos]
+            pos += 1
+            name = blob[pos : pos + name_len].decode("ascii")
+            pos += name_len
+            payload_len, pos = decode_uvarint(blob, pos)
+            payload = blob[pos : pos + payload_len]
+            if len(payload) != payload_len:
+                raise EOFError(f"truncated section {name!r}")
+            pos += payload_len
+            obj.add_section(name, payload)
+        return obj
+
+    @staticmethod
+    def peek_codec(blob: bytes) -> str:
+        """Return the codec name without parsing the whole container."""
+        if blob[:4] != MAGIC:
+            raise ValueError("not a repro container (bad magic)")
+        codec_len = blob[5]
+        return blob[6 : 6 + codec_len].decode("ascii")

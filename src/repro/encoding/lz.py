@@ -1,0 +1,145 @@
+"""Greedy hash-chain LZ77 — the from-scratch stand-in for SZ3's Zstd stage.
+
+The SZ3 pipeline (and therefore CliZ's) runs a general-purpose LZ coder over
+the Huffman output to squeeze residual redundancy (long zero runs, repeated
+code patterns). Any LZ-family coder fills that role; this one uses:
+
+* a single-slot 16-bit hash table over 4-byte shingles (precomputed with one
+  vectorized NumPy pass, so the Python match loop does no hashing),
+* greedy match extension, window 65535 bytes, match length 4..259,
+* a byte-oriented token format: control byte ``0xxxxxxx`` = literal run of
+  ``x+1`` bytes (1..128) follows; ``1xxxxxxx`` = match of length ``x+4``
+  (4..131) with a 2-byte little-endian offset; lengths above 131 emit
+  repeated match tokens.
+
+``compress`` falls back to a stored block when expansion would occur, so the
+output is never more than ``len(data) + 6`` bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["lz_compress", "lz_decompress"]
+
+_WINDOW = 65535
+_MIN_MATCH = 4
+_MAX_MATCH = 131  # per token; longer matches chain tokens
+_MAGIC_COMPRESSED = 1
+_MAGIC_STORED = 0
+
+
+def _hashes(data: bytes) -> list[int]:
+    """16-bit multiplicative hashes of every 4-byte shingle (vectorized)."""
+    a = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
+    v = a[:-3] | (a[1:-2] << np.uint32(8)) | (a[2:-1] << np.uint32(16)) | (a[3:] << np.uint32(24))
+    h = (v * np.uint32(2654435761)) >> np.uint32(16)
+    return h.tolist()
+
+
+def lz_compress(data: bytes) -> bytes:
+    """Compress ``data``; always decompressible by :func:`lz_decompress`."""
+    n = len(data)
+    header = bytearray()
+    if n < 16:
+        header.append(_MAGIC_STORED)
+        encode_uvarint(n, header)
+        return bytes(header) + data
+    tokens = bytearray()
+    hashes = _hashes(data)
+    table = [-1] * 65536
+    i = 0
+    lit_start = 0
+    limit = n - _MIN_MATCH + 1
+
+    def flush_literals(upto: int) -> None:
+        s = lit_start
+        while s < upto:
+            run = min(128, upto - s)
+            tokens.append(run - 1)
+            tokens.extend(data[s : s + run])
+            s += run
+
+    while i < limit:
+        h = hashes[i]
+        cand = table[h]
+        table[h] = i
+        if cand >= 0 and i - cand <= _WINDOW and data[cand : cand + 4] == data[i : i + 4]:
+            length = 4
+            maxl = min(n - i, _MAX_MATCH)
+            while length < maxl and data[cand + length] == data[i + length]:
+                length += 1
+            flush_literals(i)
+            tokens.append(0x80 | (length - _MIN_MATCH))
+            off = i - cand
+            tokens.append(off & 0xFF)
+            tokens.append(off >> 8)
+            # Seed the table at a couple of positions inside the match so
+            # later occurrences of its interior still find candidates.
+            if i + 1 < limit:
+                table[hashes[i + 1]] = i + 1
+            mid = i + length // 2
+            if mid < limit:
+                table[hashes[mid]] = mid
+            i += length
+            lit_start = i
+        else:
+            i += 1
+    flush_literals(n)
+    lit_start = n
+
+    if len(tokens) + 10 >= n:
+        header.append(_MAGIC_STORED)
+        encode_uvarint(n, header)
+        return bytes(header) + data
+    header.append(_MAGIC_COMPRESSED)
+    encode_uvarint(n, header)
+    return bytes(header) + bytes(tokens)
+
+
+def lz_decompress(blob: bytes) -> bytes:
+    """Inverse of :func:`lz_compress`."""
+    if not blob:
+        raise EOFError("empty LZ stream")
+    mode = blob[0]
+    n, pos = decode_uvarint(blob, 1)
+    if mode == _MAGIC_STORED:
+        out = blob[pos : pos + n]
+        if len(out) != n:
+            raise EOFError("truncated stored LZ block")
+        return bytes(out)
+    if mode != _MAGIC_COMPRESSED:
+        raise ValueError(f"bad LZ block mode {mode}")
+    out = bytearray()
+    data = blob
+    end = len(blob)
+    while len(out) < n:
+        if pos >= end:
+            raise EOFError("truncated LZ stream")
+        ctrl = data[pos]
+        pos += 1
+        if ctrl & 0x80:
+            length = (ctrl & 0x7F) + _MIN_MATCH
+            if pos + 2 > end:
+                raise EOFError("truncated LZ match token")
+            off = data[pos] | (data[pos + 1] << 8)
+            pos += 2
+            if off == 0 or off > len(out):
+                raise ValueError("invalid LZ match offset")
+            start = len(out) - off
+            if off >= length:
+                out += out[start : start + length]
+            else:  # overlapping match: copy byte-wise semantics
+                for k in range(length):
+                    out.append(out[start + k])
+        else:
+            run = ctrl + 1
+            if pos + run > end:
+                raise EOFError("truncated LZ literal run")
+            out += data[pos : pos + run]
+            pos += run
+    if len(out) != n:
+        raise ValueError("LZ stream decoded to wrong length")
+    return bytes(out)

@@ -1,0 +1,123 @@
+"""Multi-Huffman encoding — CliZ's quantization-bin group coder (§VI-E).
+
+CliZ classifies quantization bins into groups (concentrated vs dispersed
+positions) and encodes each group with its own Huffman tree. Rather than
+interleaving codewords from different trees (which would force a per-symbol
+table switch in the decoder), symbols are stably partitioned by group, each
+partition is coded contiguously with its own canonical table, and the
+decoder scatters them back using the same group map — bit-identical
+information content, vectorized scatter/gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.bitstream import BitWriter
+from repro.encoding.huffman import HuffmanCode
+from repro.encoding.varint import decode_uvarint, encode_uvarint
+
+__all__ = ["encode_grouped", "decode_grouped", "grouped_cost_bits", "single_cost_bits"]
+
+
+def encode_grouped(symbols: np.ndarray, groups: np.ndarray, n_groups: int) -> bytes:
+    """Encode ``symbols`` with one Huffman tree per group.
+
+    Parameters
+    ----------
+    symbols:
+        Non-negative symbol array.
+    groups:
+        Group index per symbol (same length, values in ``0..n_groups-1``).
+    n_groups:
+        Number of groups; empty groups are allowed.
+    """
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    groups = np.asarray(groups, dtype=np.int64).ravel()
+    if symbols.shape != groups.shape:
+        raise ValueError("symbols and groups must have the same length")
+    if symbols.size and (groups.min() < 0 or groups.max() >= n_groups):
+        raise ValueError("group indices out of range")
+    out = bytearray()
+    encode_uvarint(n_groups, out)
+    encode_uvarint(symbols.size, out)
+    for g in range(n_groups):
+        part = symbols[groups == g]
+        encode_uvarint(part.size, out)
+        if part.size == 0:
+            continue
+        code = HuffmanCode.from_symbols(part)
+        table = code.serialize()
+        encode_uvarint(len(table), out)
+        out += table
+        writer = BitWriter()
+        code.encode(part, writer)
+        payload = writer.getvalue()
+        encode_uvarint(writer.bit_length, out)
+        out += payload
+    return bytes(out)
+
+
+def decode_grouped(blob: bytes, groups: np.ndarray, pos: int = 0) -> tuple[np.ndarray, int]:
+    """Inverse of :func:`encode_grouped`; requires the same group map.
+
+    Returns ``(symbols, new_pos)``.
+    """
+    groups = np.asarray(groups, dtype=np.int64).ravel()
+    n_groups, pos = decode_uvarint(blob, pos)
+    total, pos = decode_uvarint(blob, pos)
+    if total != groups.size:
+        raise ValueError(f"group map length {groups.size} does not match stream ({total})")
+    out = np.zeros(total, dtype=np.int64)
+    for g in range(n_groups):
+        n_g, pos = decode_uvarint(blob, pos)
+        if n_g == 0:
+            continue
+        sel = groups == g
+        if int(sel.sum()) != n_g:
+            raise ValueError("group map inconsistent with stream counts")
+        table_len, pos = decode_uvarint(blob, pos)
+        code, _ = HuffmanCode.deserialize(blob[pos : pos + table_len])
+        pos += table_len
+        bit_len, pos = decode_uvarint(blob, pos)
+        n_bytes = (bit_len + 7) // 8
+        part, _ = code.decode(blob[pos : pos + n_bytes], n_g)
+        pos += n_bytes
+        out[sel] = part
+    return out, pos
+
+
+def _entropy_bits(counts: np.ndarray) -> float:
+    counts = counts[counts > 0].astype(np.float64)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(-(counts * np.log2(p)).sum())
+
+
+def single_cost_bits(symbols: np.ndarray) -> float:
+    """Entropy-model estimate of single-tree encoded size (payload only)."""
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    if symbols.size == 0:
+        return 0.0
+    return _entropy_bits(np.bincount(symbols))
+
+
+def grouped_cost_bits(symbols: np.ndarray, groups: np.ndarray, n_groups: int,
+                      map_bits_per_entry: float = 0.0, n_map_entries: int = 0) -> float:
+    """Entropy-model estimate of multi-tree encoded size.
+
+    Includes an optional charge for the classification map
+    (``n_map_entries * map_bits_per_entry``), which is how the auto-tuner
+    decides whether bin classification pays for itself (§VI-E notes each
+    position costs about ``log2((2j+1)(k+1))`` bits).
+    """
+    symbols = np.asarray(symbols, dtype=np.int64).ravel()
+    groups = np.asarray(groups, dtype=np.int64).ravel()
+    bits = 0.0
+    for g in range(n_groups):
+        part = symbols[groups == g]
+        if part.size:
+            bits += _entropy_bits(np.bincount(part))
+    return bits + map_bits_per_entry * n_map_entries

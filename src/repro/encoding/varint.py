@@ -1,0 +1,118 @@
+"""LEB128 variable-length integers and zigzag mapping.
+
+Used by every serialized structure in the container format: Huffman code
+tables, LZ token streams, classification maps, and section headers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_uvarint_array",
+    "decode_uvarint_array",
+    "zigzag_encode",
+    "zigzag_decode",
+]
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append ``value`` (non-negative) to ``out`` as LEB128."""
+    if value < 0:
+        raise ValueError("uvarint requires a non-negative value")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode one LEB128 integer starting at ``pos``; return (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise EOFError("truncated uvarint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise ValueError("uvarint too long")
+
+
+def encode_uvarint_array(values: np.ndarray) -> bytes:
+    """Serialize an array of non-negative ints as concatenated LEB128.
+
+    Vectorized: computes each value's byte count, then scatters the 7-bit
+    groups with continuation flags in one pass.
+    """
+    vals = np.asarray(values, dtype=np.uint64).ravel()
+    if vals.size == 0:
+        return b""
+    # Number of LEB128 bytes for each value: ceil(bit_length / 7), min 1.
+    nbytes = np.ones(vals.shape, dtype=np.int64)
+    tmp = vals >> np.uint64(7)
+    while tmp.any():
+        nbytes += (tmp != 0)
+        tmp >>= np.uint64(7)
+    total = int(nbytes.sum())
+    out = np.empty(total, dtype=np.uint8)
+    # Starting offset of each value's encoding.
+    starts = np.concatenate(([0], np.cumsum(nbytes)[:-1]))
+    maxb = int(nbytes.max())
+    shifted = vals.copy()
+    for k in range(maxb):
+        sel = nbytes > k
+        idx = starts[sel] + k
+        more = nbytes[sel] > (k + 1)
+        out[idx] = ((shifted[sel] & np.uint64(0x7F)).astype(np.uint8)) | (more.astype(np.uint8) << 7)
+        shifted[sel] >>= np.uint64(7)
+    return out.tobytes()
+
+
+def decode_uvarint_array(data: bytes, n: int, pos: int = 0) -> tuple[np.ndarray, int]:
+    """Decode ``n`` LEB128 integers; return (uint64 array, new_pos).
+
+    Vectorized: locates value boundaries from the continuation bits, then
+    accumulates 7-bit groups by in-group position.
+    """
+    if n == 0:
+        return np.zeros(0, dtype=np.uint64), pos
+    buf = np.frombuffer(data, dtype=np.uint8)[pos:]
+    is_last = (buf & 0x80) == 0
+    ends = np.flatnonzero(is_last)
+    if len(ends) < n:
+        raise EOFError("truncated uvarint array")
+    ends = ends[:n]
+    starts = np.concatenate(([0], ends[:-1] + 1))
+    lengths = ends - starts + 1
+    if int(lengths.max()) > 10:
+        raise ValueError("uvarint too long")
+    vals = np.zeros(n, dtype=np.uint64)
+    maxb = int(lengths.max())
+    for k in range(maxb):
+        sel = lengths > k
+        group = buf[starts[sel] + k].astype(np.uint64) & np.uint64(0x7F)
+        vals[sel] |= group << np.uint64(7 * k)
+    return vals, pos + int(ends[-1]) + 1
+
+
+def zigzag_encode(values: np.ndarray) -> np.ndarray:
+    """Map signed ints to unsigned: 0,-1,1,-2,2 -> 0,1,2,3,4."""
+    v = np.asarray(values, dtype=np.int64)
+    return ((v << 1) ^ (v >> 63)).astype(np.uint64)
+
+
+def zigzag_decode(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`zigzag_encode`."""
+    u = np.asarray(values, dtype=np.uint64)
+    return ((u >> np.uint64(1)).astype(np.int64)) ^ -(u & np.uint64(1)).astype(np.int64)

@@ -1,0 +1,56 @@
+"""Experiment harnesses — one module per table/figure of the paper.
+
+========================  =============================================
+Module                    Paper content
+========================  =============================================
+table3_datasets           Table III: dataset inventory
+fig3_maskmap              Fig. 3: SSH mask-map categories
+fig4_smoothness           Fig. 4: per-dimension smoothness diversity
+fig5_quantbins            Fig. 5: quantization bins vs topography
+fig6_maskfit              Fig. 6 / Tables I-II: mask-aware fitting accuracy
+fig7_permutation          Fig. 7: bit rate per permutation/fusion
+fig8_period_fft           Fig. 8: FFT spectra of sampled rows
+fig9_residual             Fig. 9: original vs residual smoothness
+fig10_rate_distortion     Fig. 10: rate-distortion, 5x5 comparison
+fig11_sampling_time       Fig. 11: tuning time vs sampling rate
+fig12_sampling_cr         Fig. 12: estimated CR ordering vs rate
+table4_sampling_pipeline  Table IV: chosen pipeline + CR loss vs rate
+table5_ablation_ssh       Table V: strategy ablation on SSH
+table6_ablation_hurricane Table VI: strategy ablation on Hurricane-T
+fig13_transfer            Fig. 13: Globus compress+transfer times
+fig14_visual_quality      Fig. 14: quality at matched CR
+headline                  Abstract: CliZ vs second-best CR advantage
+speed                     §VII: throughput ordering (CliZ ~ SZ3 >> SPERR)
+interactions              extension: strategy interaction matrix
+========================  =============================================
+
+Each module exposes ``run(...) -> ExperimentResult`` and is runnable as a
+script (``python -m repro.experiments.<module>``).
+"""
+
+from repro.experiments.common import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table", "ALL_EXPERIMENTS"]
+
+#: module name -> short description, for the run-everything example.
+ALL_EXPERIMENTS = {
+    "table3_datasets": "Table III: dataset inventory",
+    "fig3_maskmap": "Fig. 3: SSH mask-map categories",
+    "fig4_smoothness": "Fig. 4 / §V-B: per-dimension smoothness diversity",
+    "fig5_quantbins": "Fig. 5: quantization bins vs topography",
+    "fig6_maskfit": "Fig. 6 / Tables I-II: mask-aware fitting accuracy",
+    "fig7_permutation": "Fig. 7: bit rate per permutation/fusion",
+    "fig8_period_fft": "Fig. 8: FFT spectra of sampled rows",
+    "fig9_residual": "Fig. 9: original vs residual smoothness",
+    "fig10_rate_distortion": "Fig. 10: rate-distortion comparison",
+    "fig11_sampling_time": "Fig. 11: tuning time vs sampling rate",
+    "fig12_sampling_cr": "Fig. 12: estimated CR ordering vs rate",
+    "table4_sampling_pipeline": "Table IV: pipeline choice vs sampling rate",
+    "table5_ablation_ssh": "Table V: strategy ablation on SSH",
+    "table6_ablation_hurricane": "Table VI: strategy ablation on Hurricane-T",
+    "fig13_transfer": "Fig. 13: Globus compress+transfer times",
+    "fig14_visual_quality": "Fig. 14: quality at matched CR",
+    "headline": "Abstract: CliZ vs second-best CR advantage",
+    "speed": "§VII: per-codec throughput ordering",
+    "interactions": "Extension: mask x periodicity x layout interaction matrix",
+}

@@ -1,0 +1,157 @@
+"""Design-choice ablations beyond the paper's own tables.
+
+DESIGN.md commits to ablation benches for the tunable constants the paper
+fixes by argument rather than measurement:
+
+* the λ dispersion threshold (Theorem 2 proves 0.4 is safe; we sweep it),
+* the shift/dispersion group counts j, k (§VI-E argues j=k=1 suffices),
+* the template/residual error-bound split for periodic data (the paper
+  does not specify one; we default to a 0.1 template share — see DESIGN.md),
+* the LZ post-processing stage (SZ3 heritage: Huffman alone vs Huffman+LZ).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CliZ
+from repro.core.codec import encode_code_stream
+from repro.datasets import load
+from repro.encoding.bitstream import BitWriter
+from repro.encoding.huffman import HuffmanCode
+from repro.experiments.common import ExperimentResult, rel_eb_to_abs, tuned_config
+from repro.metrics import compression_ratio
+
+__all__ = [
+    "lambda_sweep",
+    "group_count_sweep",
+    "template_ratio_sweep",
+    "lz_stage_ablation",
+    "entropy_stage_ablation",
+]
+
+
+def lambda_sweep(dataset: str = "CESM-T", rel_eb: float = 1e-3,
+                 lambdas=(0.1, 0.25, 0.4, 0.55, 0.7)) -> ExperimentResult:
+    """CR as a function of the dispersion threshold λ (paper fixes 0.4)."""
+    fieldobj = load(dataset)
+    eb = rel_eb_to_abs(fieldobj, rel_eb)
+    base = tuned_config(fieldobj, rel_eb=rel_eb).best.with_(
+        binclass=True, horiz_axes=fieldobj.horiz_axes)
+    result = ExperimentResult("Ablation λ", f"Bin-classification threshold sweep ({dataset})")
+    for lam in lambdas:
+        cfg = base.with_(binclass_lambda=lam)
+        blob = CliZ(cfg).compress(fieldobj.data, abs_eb=eb, mask=fieldobj.mask)
+        result.rows.append({"λ": lam, "CR": compression_ratio(fieldobj.data.size, len(blob))})
+    result.notes.append("Theorem 2 derives λ=0.4 as the safe optimum")
+    return result
+
+
+def group_count_sweep(dataset: str = "CESM-T", rel_eb: float = 1e-3,
+                      jks=((0, 1), (1, 0), (1, 1), (2, 1), (1, 2), (2, 2))) -> ExperimentResult:
+    """CR for different shift ranges j and dispersion group counts k."""
+    fieldobj = load(dataset)
+    eb = rel_eb_to_abs(fieldobj, rel_eb)
+    base = tuned_config(fieldobj, rel_eb=rel_eb).best.with_(
+        binclass=True, horiz_axes=fieldobj.horiz_axes)
+    result = ExperimentResult("Ablation j/k", f"Shift/dispersion group sweep ({dataset})")
+    for j, k in jks:
+        cfg = base.with_(binclass_j=j, binclass_k=k)
+        blob = CliZ(cfg).compress(fieldobj.data, abs_eb=eb, mask=fieldobj.mask)
+        result.rows.append({
+            "j": j, "k": k,
+            "map bits/loc": float(np.log2((2 * j + 1) * (k + 1))),
+            "CR": compression_ratio(fieldobj.data.size, len(blob)),
+        })
+    result.notes.append("paper §VI-E: 'compression ratio cannot be significantly increased when j or k > 1'")
+    return result
+
+
+def template_ratio_sweep(dataset: str = "SSH", rel_eb: float = 1e-3,
+                         ratios=(0.05, 0.1, 0.2, 0.35, 0.5)) -> ExperimentResult:
+    """CR as a function of the template/residual error-bound split."""
+    fieldobj = load(dataset)
+    eb = rel_eb_to_abs(fieldobj, rel_eb)
+    base = tuned_config(fieldobj, rel_eb=rel_eb).best.with_(
+        periodic=True, time_axis=fieldobj.time_axis)
+    result = ExperimentResult(
+        "Ablation eb-split", f"Template share of the error bound ({dataset})"
+    )
+    for ratio in ratios:
+        cfg = base.with_(template_eb_ratio=ratio)
+        blob = CliZ(cfg).compress(fieldobj.data, abs_eb=eb, mask=fieldobj.mask)
+        result.rows.append({
+            "template share": ratio,
+            "CR": compression_ratio(fieldobj.data.size, len(blob)),
+        })
+    result.notes.append("the paper leaves this split unspecified; DESIGN.md documents 0.1 as our default")
+    return result
+
+
+def lz_stage_ablation(dataset: str = "SSH", rel_eb: float = 1e-3) -> ExperimentResult:
+    """Huffman-only vs Huffman+LZ on a real quantization-code stream."""
+    from repro.core.dims import apply_layout
+    from repro.prediction.interpolation import InterpSpec, interp_compress
+
+    fieldobj = load(dataset)
+    eb = rel_eb_to_abs(fieldobj, rel_eb)
+    cfg = tuned_config(fieldobj, rel_eb=rel_eb).best
+    laid = apply_layout(fieldobj.data.astype(np.float64), cfg.layout)
+    lmask = apply_layout(fieldobj.mask, cfg.layout) if fieldobj.mask is not None else None
+    res = interp_compress(laid, eb, InterpSpec(order=tuple(range(laid.ndim)),
+                                               fitting=cfg.fitting), mask=lmask)
+    code = HuffmanCode.from_symbols(res.codes)
+    writer = BitWriter()
+    code.encode(res.codes, writer)
+    huff_only = len(writer.getvalue()) + len(code.serialize())
+    huff_lz = len(encode_code_stream(res.codes))
+    result = ExperimentResult("Ablation LZ", f"Huffman vs Huffman+LZ on {dataset} code stream")
+    result.rows.append({"Stage": "Huffman only", "Bytes": huff_only,
+                        "Bits/code": 8 * huff_only / res.codes.size})
+    result.rows.append({"Stage": "Huffman + LZ", "Bytes": huff_lz,
+                        "Bits/code": 8 * huff_lz / res.codes.size})
+    result.notes.append("SZ3 heritage: the LZ backend squeezes residual redundancy out of the Huffman stream")
+    return result
+
+
+def entropy_stage_ablation(dataset: str = "SSH", rel_eb: float = 1e-3) -> ExperimentResult:
+    """Huffman vs range coding (± LZ) on a real quantization-code stream.
+
+    The range coder charges fractional bits (the zero bin often carries
+    p >> 0.5), so it wins before LZ; after LZ the gap narrows because LZ
+    recovers much of Huffman's whole-bit loss on zero runs.
+    """
+    from repro.core.dims import apply_layout
+    from repro.encoding.bitstream import BitWriter
+    from repro.encoding.lz import lz_compress
+    from repro.encoding.rangecoder import RangeModel, rc_encode
+    from repro.prediction.interpolation import InterpSpec, interp_compress
+
+    fieldobj = load(dataset)
+    eb = rel_eb_to_abs(fieldobj, rel_eb)
+    cfg = tuned_config(fieldobj, rel_eb=rel_eb).best
+    laid = apply_layout(fieldobj.data.astype(np.float64), cfg.layout)
+    lmask = apply_layout(fieldobj.mask, cfg.layout) if fieldobj.mask is not None else None
+    res = interp_compress(laid, eb, InterpSpec(order=tuple(range(laid.ndim)),
+                                               fitting=cfg.fitting), mask=lmask)
+    codes = res.codes
+    code = HuffmanCode.from_symbols(codes)
+    writer = BitWriter()
+    code.encode(codes, writer)
+    huff = writer.getvalue() + code.serialize()
+    model = RangeModel(np.bincount(codes))
+    ranged = rc_encode(codes, model) + model.serialize()
+    rows = [
+        ("Huffman", len(huff)),
+        ("Huffman + LZ", len(lz_compress(bytes(huff)))),
+        ("Range coder", len(ranged)),
+        ("Range coder + LZ", len(lz_compress(bytes(ranged)))),
+    ]
+    result = ExperimentResult("Ablation entropy",
+                              f"Entropy stage on the {dataset} code stream")
+    for name, size in rows:
+        result.rows.append({"Stage": name, "Bytes": size,
+                            "Bits/code": 8 * size / codes.size})
+    result.notes.append("Huffman+LZ is the paper's (SZ3's) pipeline; the range "
+                        "coder is this library's optional alternative backend")
+    return result

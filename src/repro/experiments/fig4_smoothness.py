@@ -1,0 +1,59 @@
+"""Fig. 4 / §V-B — diverse smoothness across dimensions.
+
+The paper motivates dimension permutation with the atmosphere temperature
+dataset: mean variation per step is 4.425 along height but 0.053 / 0.017
+along latitude/longitude, and center slices look flat in-plane but banded
+across height. This harness prints the per-dimension mean |difference| for
+every dataset and the ratio between the roughest and smoothest axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import DATASETS, load
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def run(datasets=tuple(DATASETS)) -> ExperimentResult:
+    result = ExperimentResult(
+        "Fig. 4", "Mean per-step variation along each dimension"
+    )
+    for name in datasets:
+        fieldobj = load(name)
+        data = fieldobj.data.astype(np.float64)
+        mask = fieldobj.mask
+        variations = []
+        for axis in range(data.ndim):
+            diff = np.abs(np.diff(data, axis=axis))
+            if mask is not None:
+                a = tuple(slice(0, -1) if ax == axis else slice(None) for ax in range(data.ndim))
+                b = tuple(slice(1, None) if ax == axis else slice(None) for ax in range(data.ndim))
+                sel = mask[a] & mask[b]
+                diff = diff[sel]
+            variations.append(float(diff.mean()) if diff.size else 0.0)
+        nz = [v for v in variations if v > 0]
+        rough_axis = fieldobj.axes[int(np.argmax(variations))]
+        result.rows.append({
+            "Dataset": name,
+            "Per-axis |Δ|": "  ".join(
+                f"{ax}={v:.4g}" for ax, v in zip(fieldobj.axes, variations)
+            ),
+            "Roughest axis": rough_axis,
+            "Rough/smooth": max(nz) / min(nz) if len(nz) > 1 else 1.0,
+        })
+    result.notes.append(
+        "paper §V-B (CESM-T): height 4.425 vs lat 0.053 / lon 0.017 — "
+        "the smoothest dimension should receive the most predictions"
+    )
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Fig. 6 / Tables I–II — the mask-aware dynamic fitting predictor.
+
+Fig. 6 illustrates the four-point cubic stencil; Tables I/II give its
+coefficients when references are valid/masked. This harness measures what
+that machinery buys: prediction accuracy at mask boundaries with the
+Theorem-1 coefficient adjustment versus the two naive alternatives
+(treating fill values as data, or zero-filling masked references without
+re-deriving coefficients).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load
+from repro.experiments.common import ExperimentResult
+from repro.prediction.coefficients import CUBIC_OFFSETS, CUBIC_TABLE
+
+__all__ = ["run", "main"]
+
+
+def _stencil_errors(values: np.ndarray, valid: np.ndarray, mode: str) -> np.ndarray:
+    """|prediction error| for every interior 1D stencil with >= 1 masked ref.
+
+    ``values`` and ``valid`` are (n_rows, n) arrays; predictions target
+    position i from references at i + {-3,-1,1,3}. Modes:
+    ``theorem1`` (adjusted coefficients), ``zero_fill`` (classic stencil,
+    masked refs treated as 0), ``use_fill`` (classic stencil on the raw
+    values including fills).
+    """
+    n = values.shape[1]
+    targets = np.arange(3, n - 3)
+    ref_idx = targets[:, None] + CUBIC_OFFSETS[None, :]
+    refs = values[:, ref_idx]                    # (rows, T, 4)
+    vref = valid[:, ref_idx]                     # (rows, T, 4)
+    tvals = values[:, targets]
+    tvalid = valid[:, targets]
+    any_masked = ~vref.all(axis=2)
+    select = tvalid & any_masked                 # valid target, masked neighbour
+    classic = CUBIC_TABLE[0b1111]
+    if mode == "theorem1":
+        codes = (vref * np.array([8, 4, 2, 1])).sum(axis=2)
+        preds = (refs * CUBIC_TABLE[codes]).sum(axis=2)
+    elif mode == "zero_fill":
+        preds = (np.where(vref, refs, 0.0) * classic).sum(axis=2)
+    elif mode == "use_fill":
+        preds = (refs * classic).sum(axis=2)
+    else:
+        raise ValueError(mode)
+    return np.abs(preds - tvals)[select]
+
+
+def run(dataset: str = "SSH") -> ExperimentResult:
+    fieldobj = load(dataset)
+    if fieldobj.mask is None:
+        raise RuntimeError("Fig. 6's comparison needs a masked dataset")
+    data = fieldobj.data.astype(np.float64)
+    mask = fieldobj.mask
+    # 1D rows along latitude of the first time slice (spatial prediction)
+    values = np.ascontiguousarray(np.moveaxis(data, fieldobj.time_axis, 0)[0])
+    valid = np.ascontiguousarray(np.moveaxis(mask, fieldobj.time_axis, 0)[0])
+
+    result = ExperimentResult(
+        "Fig. 6 / Tables I-II",
+        f"Prediction error at mask boundaries ({dataset}, cubic stencil)",
+    )
+    for mode, label in [("theorem1", "Theorem-1 adjusted coefficients"),
+                        ("zero_fill", "classic stencil, masked refs = 0"),
+                        ("use_fill", "classic stencil on raw fill values")]:
+        errs = _stencil_errors(values, valid, mode)
+        result.rows.append({
+            "Predictor": label,
+            "Mean |err|": float(errs.mean()) if errs.size else 0.0,
+            "Median |err|": float(np.median(errs)) if errs.size else 0.0,
+            "Max |err|": float(errs.max()) if errs.size else 0.0,
+            "Stencils": int(errs.size),
+        })
+    t1 = result.rows[0]["Mean |err|"]
+    zf = result.rows[1]["Mean |err|"]
+    result.notes.append(
+        f"Theorem-1 coefficients cut the boundary prediction error "
+        f"{zf / max(t1, 1e-30):.1f}x vs zero-filling, and make fill values "
+        "irrelevant entirely (paper §VI-B: 'still an effective polynomial fitting')"
+    )
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Fig. 7 — bit rates across all dimension permutation/fusion cases.
+
+The paper's 3D bar plot shows the bit rate of every (sequence, fusion)
+combination on the global atmosphere temperature dataset, with several
+near-optimal red bars. This harness compresses CESM-T under all 24 layouts
+and prints the resulting bit rates sorted ascending, plus the spread
+between best and worst (the paper's point: the choice matters, and several
+layouts tie near the optimum).
+"""
+
+from __future__ import annotations
+
+from repro.core import CliZ, PipelineConfig
+from repro.core.dims import enumerate_layouts, layout_name
+from repro.datasets import load
+from repro.experiments.common import ExperimentResult, rel_eb_to_abs
+from repro.metrics import bit_rate
+
+__all__ = ["run", "main"]
+
+
+def run(dataset: str = "CESM-T", rel_eb: float = 1e-3,
+        fitting: str = "cubic") -> ExperimentResult:
+    fieldobj = load(dataset)
+    data = fieldobj.data
+    eb = rel_eb_to_abs(fieldobj, rel_eb)
+    result = ExperimentResult(
+        "Fig. 7", f"Bit rate per dimension permutation/fusion ({dataset}, {fitting} fitting)"
+    )
+    rates = []
+    for layout in enumerate_layouts(data.ndim):
+        cfg = PipelineConfig(layout=layout, fitting=fitting)
+        blob = CliZ(cfg).compress(data, abs_eb=eb, mask=fieldobj.mask)
+        rates.append((bit_rate(data.size, len(blob)), layout))
+    rates.sort(key=lambda t: t[0])
+    for rate, layout in rates:
+        result.rows.append({"Layout": layout_name(layout), "Bit rate": rate})
+    best, worst = rates[0][0], rates[-1][0]
+    runner_up = rates[1][0]
+    result.notes.append(
+        f"best {best:.3f} vs worst {worst:.3f} bits/value ({worst / best:.2f}x spread); "
+        f"runner-up within {100 * (runner_up - best) / best:.2f}% "
+        "(paper: multiple red frustums as short as each other, 0.065% apart)"
+    )
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Fig. 8 — FFT spectra of sampled SSH rows peak at the annual frequency.
+
+The paper samples ten rows of the SSH dataset along time (N=1032), observes
+a common spectral peak at f=86 (and harmonics), and derives period
+1032/86 = 12. On the scaled dataset (N time steps, period 12) the peak sits
+at f = N/12; this harness prints each sampled row's top frequencies and the
+derived period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.periodicity import detect_period, row_spectra
+from repro.datasets import load
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def run(dataset: str = "SSH", n_rows: int = 10, seed: int = 0) -> ExperimentResult:
+    fieldobj = load(dataset)
+    data = fieldobj.data.astype(np.float64)
+    spectra = row_spectra(data, fieldobj.time_axis, n_rows=n_rows, seed=seed,
+                          mask=fieldobj.mask)
+    n_time = data.shape[fieldobj.time_axis]
+    expected_f = n_time / fieldobj.true_period if fieldobj.true_period else None
+    result = ExperimentResult(
+        "Fig. 8", f"FFT of {n_rows} sampled rows of {dataset} (N={n_time})"
+    )
+    for i, spec in enumerate(spectra):
+        top = np.argsort(spec)[::-1][:3]
+        result.rows.append({
+            "Row": chr(ord("B") + i),
+            "Peak f": int(top[0]),
+            "2nd f": int(top[1]),
+            "3rd f": int(top[2]),
+            "Peak amp": float(spec[top[0]]),
+            "Median amp": float(np.median(spec[1:])),
+        })
+    period = detect_period(data, fieldobj.time_axis, n_rows=n_rows, seed=seed,
+                           mask=fieldobj.mask)
+    result.notes.append(
+        f"expected fundamental f = N/period = {expected_f}; detected period = {period} "
+        f"(paper: N=1032, peak f=86, period 12)"
+    )
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Fig. 9 — the residual after periodic extraction is far smoother.
+
+The paper shows an SSH slice before and after removing the periodic
+component: residuals are near zero and spatially continuous. This harness
+quantifies that with amplitude and neighbour-difference (total-variation)
+statistics of the original vs residual data over valid points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.periodicity import detect_period, split_periodic
+from repro.datasets import load
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["run", "main"]
+
+
+def _stats(arr: np.ndarray, mask: np.ndarray | None) -> dict:
+    vals = arr[mask] if mask is not None else arr.ravel()
+    out = {
+        "std": float(vals.std()),
+        "mean |v|": float(np.abs(vals - vals.mean()).mean()),
+    }
+    for axis in range(arr.ndim):
+        diff = np.abs(np.diff(arr, axis=axis))
+        if mask is not None:
+            sl = tuple(slice(0, -1) if a == axis else slice(None) for a in range(arr.ndim))
+            sl2 = tuple(slice(1, None) if a == axis else slice(None) for a in range(arr.ndim))
+            sel = mask[sl] & mask[sl2]
+            diff = diff[sel]
+        out[f"TV axis{axis}"] = float(diff.mean()) if diff.size else 0.0
+    return out
+
+
+def run(dataset: str = "SSH") -> ExperimentResult:
+    fieldobj = load(dataset)
+    if fieldobj.time_axis is None:
+        raise RuntimeError(f"{dataset} has no time axis; Fig. 9 needs a periodic field")
+    data = fieldobj.data.astype(np.float64)
+    mask = fieldobj.mask
+    period = detect_period(data, fieldobj.time_axis, mask=mask)
+    if period is None:
+        raise RuntimeError(f"{dataset} shows no period; Fig. 9 needs a periodic field")
+    template, residual = split_periodic(data, fieldobj.time_axis, period)
+
+    result = ExperimentResult(
+        "Fig. 9", f"Original vs residual smoothness on {dataset} (period {period})"
+    )
+    for label, arr in [("original", data), ("residual", residual)]:
+        row = {"Data": label}
+        row.update(_stats(arr, mask))
+        result.rows.append(row)
+    orig = result.rows[0]
+    res = result.rows[1]
+    gains = [orig[k] / res[k] for k in orig if k != "Data" and res[k] > 0]
+    result.notes.append(
+        f"residual variability is {min(gains):.1f}x-{max(gains):.1f}x smaller than the original "
+        "(paper: residual slices are near zero / higher continuity)"
+    )
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

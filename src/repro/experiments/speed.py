@@ -1,0 +1,64 @@
+"""§VII speed claims — compression/decompression throughput per codec.
+
+The paper states CliZ's compression and decompression speeds are comparable
+to SZ3 and ZFP and substantially faster than SPERR. Absolute Python numbers
+are not comparable to the authors' C++, but the *relative* ordering should
+hold on the shared substrate. This harness measures per-codec throughput
+on one dataset.
+"""
+
+from __future__ import annotations
+
+from repro import CliZ
+from repro.datasets import load
+from repro.experiments.common import BASELINES, ExperimentResult, rel_eb_to_abs, tuned_config
+from repro.utils.timer import Timer
+
+__all__ = ["run", "main"]
+
+
+def run(dataset: str = "CESM-T", rel_eb: float = 1e-3,
+        repeats: int = 2) -> ExperimentResult:
+    fieldobj = load(dataset)
+    data = fieldobj.data
+    eb = rel_eb_to_abs(fieldobj, rel_eb)
+    mb = data.size * 4 / 1e6
+
+    entries = [("CliZ", CliZ(tuned_config(fieldobj, rel_eb=rel_eb).best), True)]
+    entries += [(name, cls(), False) for name, cls in BASELINES.items()]
+
+    result = ExperimentResult(
+        "Speed", f"Compression/decompression throughput on {dataset} ({mb:.1f} MB eq.)"
+    )
+    for name, comp, pass_mask in entries:
+        kwargs = {"abs_eb": eb}
+        if pass_mask and fieldobj.mask is not None:
+            kwargs["mask"] = fieldobj.mask
+        tc, td = Timer(), Timer()
+        blob = b""
+        for _ in range(repeats):
+            with tc:
+                blob = comp.compress(data, **kwargs)
+            with td:
+                comp.decompress(blob)
+        result.rows.append({
+            "Codec": name,
+            "Compress MB/s": mb * repeats / tc.elapsed,
+            "Decompress MB/s": mb * repeats / td.elapsed,
+            "CR": data.size * 4 / len(blob),
+        })
+    cliz = result.rows[0]["Compress MB/s"]
+    sperr = [r for r in result.rows if r["Codec"] == "SPERR"][0]["Compress MB/s"]
+    result.notes.append(
+        f"CliZ/SPERR compression speed ratio: {cliz / sperr:.1f}x "
+        "(paper: CliZ ~ SZ3 ~ ZFP, substantially faster than SPERR)"
+    )
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Table V — ablation on SSH: cancel each optimization strategy in turn.
+
+Starting from the estimated optimal pipeline (1% sampling), the harness
+toggles each strategy off — mask-map prediction, bin classification,
+permutation/fusion (reset to the identity layout), and periodic
+extraction — and reports the CR improvement the strategy provides plus the
+compression-time increment it costs, exactly like the paper's table.
+"""
+
+from __future__ import annotations
+
+from repro import CliZ
+from repro.core.dims import Layout, layout_name
+from repro.datasets import load
+from repro.experiments.common import ExperimentResult, rel_eb_to_abs, tuned_config
+from repro.metrics import compression_ratio
+from repro.utils.timer import Timer
+
+__all__ = ["run", "main"]
+
+
+def _describe_row(cfg, label, cr, seconds, base_cr, base_time):
+    return {
+        "Condition": label,
+        "Periodicity": cfg.period if (cfg.periodic and cfg.period) else ("auto" if cfg.periodic else "No"),
+        "Mask": "Yes" if cfg.use_mask else "No",
+        "Classification": "Yes" if cfg.binclass else "No",
+        "Layout": layout_name(cfg.layout),
+        "Fitting": cfg.fitting.capitalize(),
+        "Compression Ratio": cr,
+        "CR Improvement %": 100 * (base_cr / cr - 1) if cr > 0 else float("inf"),
+        "Time s": seconds,
+        "Time Increment %": 100 * (base_time / seconds - 1) if seconds > 0 else 0.0,
+    }
+
+
+def run(dataset: str = "SSH", rel_eb: float = 1e-3,
+        sampling_rate: float = 0.01) -> ExperimentResult:
+    fieldobj = load(dataset)
+    data, mask = fieldobj.data, fieldobj.mask
+    eb = rel_eb_to_abs(fieldobj, rel_eb)
+    tune = tuned_config(fieldobj, rel_eb=rel_eb, sampling_rate=sampling_rate)
+    base_cfg = tune.best
+    # Table V always reports the four strategies; force them on in the base
+    # pipeline so each toggle is measurable even if the tuner skipped one.
+    base_cfg = base_cfg.with_(
+        binclass=fieldobj.horiz_axes is not None,
+        horiz_axes=fieldobj.horiz_axes,
+        periodic=fieldobj.time_axis is not None,
+        time_axis=fieldobj.time_axis,
+    )
+
+    variants = [("optimal pipeline", base_cfg)]
+    if mask is not None:
+        variants.append(("no mask", base_cfg.with_(use_mask=False)))
+    if base_cfg.binclass:
+        variants.append(("no classification", base_cfg.with_(binclass=False)))
+    variants.append(("no permutation/fusion",
+                     base_cfg.with_(layout=Layout.identity(data.ndim))))
+    if base_cfg.periodic:
+        variants.append(("no periodicity", base_cfg.with_(periodic=False)))
+
+    result = ExperimentResult(
+        "Table V", f"Optimal pipeline vs each strategy cancelled ({dataset})"
+    )
+    measurements = []
+    for label, cfg in variants:
+        timer = Timer()
+        with timer:
+            blob = CliZ(cfg).compress(data, abs_eb=eb, mask=mask)
+        measurements.append((label, cfg, compression_ratio(data.size, len(blob)), timer.elapsed))
+    base_cr, base_time = measurements[0][2], measurements[0][3]
+    for label, cfg, cr, seconds in measurements:
+        result.rows.append(_describe_row(cfg, label, cr, seconds, base_cr, base_time))
+    result.notes.append(
+        "CR Improvement = how much the optimal pipeline gains over the cancelled variant "
+        "(paper SSH: mask +132.7%, permutation/fusion +17.4%, classification +4.4%, periodicity +34.3%)"
+    )
+    return result
+
+
+def main() -> None:
+    run().print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Self-describing climate dataset files with CliZ-compressed variables.
+
+The paper's stated future work (§VIII) is integrating CliZ into HDF5 and
+NetCDF "to service as many climate users as possible". This package
+implements that integration against a from-scratch NetCDF-like container
+(RCDF — "repro climate data format"): named dimensions, attributed
+variables, CF-style ``missing_value`` semantics, and per-variable choice of
+codec and error bound.
+"""
+
+from repro.io.rcdf import RcdfDataset, RcdfVariable, read_rcdf, write_rcdf
+
+__all__ = ["RcdfDataset", "RcdfVariable", "read_rcdf", "write_rcdf"]

@@ -1,0 +1,35 @@
+"""Distortion and rate metrics used throughout the evaluation."""
+
+from repro.metrics.assessment import (
+    QualityReport,
+    assess,
+    error_autocorrelation,
+    pearson_correlation,
+    wasserstein_distance,
+)
+from repro.metrics.error import max_abs_error, mean_abs_error, psnr, rmse, value_range
+from repro.metrics.rate import (
+    RateDistortionCurve,
+    RatePoint,
+    bit_rate,
+    compression_ratio,
+)
+from repro.metrics.ssim import ssim
+
+__all__ = [
+    "psnr",
+    "rmse",
+    "max_abs_error",
+    "mean_abs_error",
+    "value_range",
+    "ssim",
+    "bit_rate",
+    "compression_ratio",
+    "RatePoint",
+    "RateDistortionCurve",
+    "QualityReport",
+    "assess",
+    "pearson_correlation",
+    "wasserstein_distance",
+    "error_autocorrelation",
+]

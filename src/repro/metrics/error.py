@@ -1,0 +1,61 @@
+"""Pointwise distortion metrics (paper Eq. 3 and friends)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["value_range", "rmse", "max_abs_error", "mean_abs_error", "psnr"]
+
+
+def _pair(original: np.ndarray, reconstructed: np.ndarray,
+          mask: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch {a.shape} vs {b.shape}")
+    if mask is not None:
+        m = np.asarray(mask, dtype=bool)
+        if m.shape != a.shape:
+            raise ValueError("mask shape mismatch")
+        return a[m], b[m]
+    return a.ravel(), b.ravel()
+
+
+def value_range(original: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """``d_max - d_min`` over valid points."""
+    vals = original[mask] if mask is not None else np.asarray(original)
+    return float(np.max(vals) - np.min(vals))
+
+
+def rmse(original: np.ndarray, reconstructed: np.ndarray,
+         mask: np.ndarray | None = None) -> float:
+    a, b = _pair(original, reconstructed, mask)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray,
+                  mask: np.ndarray | None = None) -> float:
+    a, b = _pair(original, reconstructed, mask)
+    return float(np.max(np.abs(a - b))) if a.size else 0.0
+
+
+def mean_abs_error(original: np.ndarray, reconstructed: np.ndarray,
+                   mask: np.ndarray | None = None) -> float:
+    a, b = _pair(original, reconstructed, mask)
+    return float(np.mean(np.abs(a - b))) if a.size else 0.0
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray,
+         mask: np.ndarray | None = None) -> float:
+    """Peak signal-to-noise ratio, paper Eq. (3).
+
+    ``PSNR = 20 log10((d_max - d_min) / RMSE)`` over valid points; a perfect
+    reconstruction returns ``inf``.
+    """
+    err = rmse(original, reconstructed, mask)
+    span = value_range(original, mask)
+    if err == 0.0:
+        return float("inf")
+    if span == 0.0:
+        return float("-inf") if err > 0 else float("inf")
+    return float(20.0 * np.log10(span / err))

@@ -1,0 +1,102 @@
+"""Mask-aware fitting coefficients — the paper's Theorem 1.
+
+CliZ predicts a point from up to four references at offsets ``-3h, -h, +h,
++3h`` along one dimension. When references are invalid (masked out, or out
+of bounds at array edges — the engine treats both identically), the
+coefficients of the remaining valid references are adjusted so the
+prediction stays an optimal polynomial fit of the valid points.
+
+The paper states this as Formula (2):
+
+    p_i = prod_j ( v_j * M[i, j] + (1 - v_j) * B[i, j] )
+
+with the matrices M, B below. The resulting coefficients are exactly the
+Lagrange interpolation basis evaluated at the target (position 0) over the
+valid node subset of {-3, -1, +1, +3} — a property the test suite checks for
+all 16 validity patterns.
+
+Tables are precomputed for the 16 cubic validity codes
+(``code = v0*8 + v1*4 + v2*2 + v3``) and the 4 linear codes
+(``code = v_left*2 + v_right``), so the engine's hot path is a single
+fancy-indexed gather.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "MATRIX_M",
+    "MATRIX_B",
+    "CUBIC_TABLE",
+    "LINEAR_TABLE",
+    "cubic_coefficients",
+    "linear_coefficients",
+    "CUBIC_OFFSETS",
+    "LINEAR_OFFSETS",
+]
+
+#: Reference node positions (in units of the interpolation stride h).
+CUBIC_OFFSETS = np.array([-3, -1, 1, 3], dtype=np.int64)
+LINEAR_OFFSETS = np.array([-1, 1], dtype=np.int64)
+
+#: Paper Theorem 1, matrix M (coefficients when the j-th reference is valid).
+MATRIX_M = np.array(
+    [
+        [1.0, -0.5, 0.25, 0.5],
+        [1.5, 1.0, 0.5, 0.75],
+        [0.75, 0.5, 1.0, 1.5],
+        [0.5, 0.25, -0.5, 1.0],
+    ]
+)
+
+#: Paper Theorem 1, matrix B (factors when the j-th reference is invalid).
+MATRIX_B = np.array(
+    [
+        [0.0, 1.0, 1.0, 1.0],
+        [1.0, 0.0, 1.0, 1.0],
+        [1.0, 1.0, 0.0, 1.0],
+        [1.0, 1.0, 1.0, 0.0],
+    ]
+)
+
+
+def cubic_coefficients(validity: np.ndarray) -> np.ndarray:
+    """Formula (2): coefficients for one validity vector ``(v0, v1, v2, v3)``."""
+    v = np.asarray(validity, dtype=np.float64)
+    if v.shape != (4,):
+        raise ValueError("validity must have exactly 4 entries")
+    factors = v[None, :] * MATRIX_M + (1.0 - v[None, :]) * MATRIX_B
+    return factors.prod(axis=1)
+
+
+def linear_coefficients(validity: np.ndarray) -> np.ndarray:
+    """Linear-fitting analogue of Theorem 1 for references at ``-h, +h``.
+
+    Both valid -> average (the classic linear fit at the midpoint); one valid
+    -> constant fit (copy); none valid -> predict zero.
+    """
+    v = np.asarray(validity, dtype=np.float64)
+    if v.shape != (2,):
+        raise ValueError("validity must have exactly 2 entries")
+    both = v[0] * v[1]
+    return np.array([
+        0.5 * both + v[0] * (1.0 - v[1]),
+        0.5 * both + v[1] * (1.0 - v[0]),
+    ])
+
+
+def _build_table(n_refs: int, fn) -> np.ndarray:
+    table = np.zeros((1 << n_refs, n_refs))
+    for code in range(1 << n_refs):
+        validity = [(code >> (n_refs - 1 - j)) & 1 for j in range(n_refs)]
+        table[code] = fn(np.array(validity, dtype=np.float64))
+    return table
+
+
+#: Coefficients for all 16 cubic validity codes; ``CUBIC_TABLE[0b1111]`` is
+#: the classic (-1/16, 9/16, 9/16, -1/16) stencil of Formula (1).
+CUBIC_TABLE = _build_table(4, cubic_coefficients)
+
+#: Coefficients for the 4 linear validity codes.
+LINEAR_TABLE = _build_table(2, linear_coefficients)

@@ -1,0 +1,120 @@
+"""First-order Lorenzo predictor (SZ2 heritage).
+
+Two roles in this repository:
+
+* :func:`lorenzo_prediction_errors` — vectorized Lorenzo residuals on the
+  *original* data, used for smoothness analysis (e.g. ranking dimension
+  orders cheaply) and in tests.
+* :func:`lorenzo_compress` / :func:`lorenzo_decompress` — an exact
+  error-bounded Lorenzo compressor that predicts from *reconstructed*
+  neighbours, like SZ2. The data dependency makes this inherently
+  sequential, so it is implemented as a straightforward scalar loop and
+  guarded to small arrays; it serves as an independent reference compressor
+  for cross-checking the interpolation engine and as the SZ2-style ablation
+  point, not as a production path.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.quantization.linear import DEFAULT_RADIUS, UNPREDICTABLE, LinearQuantizer
+
+__all__ = ["lorenzo_prediction_errors", "lorenzo_compress", "lorenzo_decompress"]
+
+_MAX_SEQUENTIAL_POINTS = 200_000
+
+
+def _corner_terms(ndim: int) -> list[tuple[tuple[int, ...], float]]:
+    """Lorenzo stencil: offsets over the unit hypercube corners (minus self).
+
+    pred(x) = sum over non-empty subsets S of dims of (-1)^(|S|+1) * v[x - e_S].
+    """
+    terms = []
+    for bits in itertools.product((0, 1), repeat=ndim):
+        k = sum(bits)
+        if k == 0:
+            continue
+        sign = 1.0 if k % 2 == 1 else -1.0
+        terms.append((bits, sign))
+    return terms
+
+
+def lorenzo_prediction_errors(data: np.ndarray) -> np.ndarray:
+    """Vectorized Lorenzo residuals of the interior of ``data`` (original values)."""
+    data = np.asarray(data, dtype=np.float64)
+    ndim = data.ndim
+    core = data[(slice(1, None),) * ndim]
+    pred = np.zeros_like(core)
+    for bits, sign in _corner_terms(ndim):
+        idx = tuple(slice(1 - b, data.shape[i] - b) for i, b in enumerate(bits))
+        pred += sign * data[idx]
+    return core - pred
+
+
+def lorenzo_compress(data: np.ndarray, eb: float,
+                     radius: int = DEFAULT_RADIUS) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Error-bounded Lorenzo compression (reference implementation).
+
+    Returns ``(codes, unpredictable, reconstructed)`` with the same stream
+    conventions as the interpolation engine. Raises for arrays larger than
+    200k points: the scalar loop is a correctness reference, not a fast path.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.size > _MAX_SEQUENTIAL_POINTS:
+        raise ValueError(
+            f"lorenzo_compress is a sequential reference implementation; "
+            f"{data.size} points exceeds the {_MAX_SEQUENTIAL_POINTS} guard"
+        )
+    quant = LinearQuantizer(eb, radius=radius)
+    rec = np.zeros_like(data)
+    terms = _corner_terms(data.ndim)
+    codes = np.empty(data.size, dtype=np.int64)
+    unpred: list[float] = []
+    flat_idx = 0
+    for idx in np.ndindex(*data.shape):
+        pred = 0.0
+        for bits, sign in terms:
+            nb = tuple(i - b for i, b in zip(idx, bits))
+            if any(c < 0 for c in nb):
+                continue
+            pred += sign * rec[nb]
+        c, r = quant.quantize(np.array([data[idx]]), np.array([pred]))
+        codes[flat_idx] = c[0]
+        rec[idx] = r[0]
+        if c[0] == UNPREDICTABLE:
+            unpred.append(float(data[idx]))
+        flat_idx += 1
+    return codes, np.array(unpred, dtype=np.float64), rec
+
+
+def lorenzo_decompress(shape: tuple[int, ...], eb: float, codes: np.ndarray,
+                       unpredictable: np.ndarray,
+                       radius: int = DEFAULT_RADIUS) -> np.ndarray:
+    """Inverse of :func:`lorenzo_compress`."""
+    shape = tuple(shape)
+    codes = np.asarray(codes, dtype=np.int64)
+    if codes.size != int(np.prod(shape)):
+        raise ValueError("code stream length does not match shape")
+    rec = np.zeros(shape, dtype=np.float64)
+    terms = _corner_terms(len(shape))
+    width = 2.0 * eb
+    upos = 0
+    flat_idx = 0
+    for idx in np.ndindex(*shape):
+        pred = 0.0
+        for bits, sign in terms:
+            nb = tuple(i - b for i, b in zip(idx, bits))
+            if any(c < 0 for c in nb):
+                continue
+            pred += sign * rec[nb]
+        c = codes[flat_idx]
+        if c == UNPREDICTABLE:
+            rec[idx] = unpredictable[upos]
+            upos += 1
+        else:
+            rec[idx] = pred + (int(c) - radius) * width
+        flat_idx += 1
+    return rec

@@ -1,0 +1,5 @@
+"""Error-bounded quantization."""
+
+from repro.quantization.linear import DEFAULT_RADIUS, UNPREDICTABLE, LinearQuantizer
+
+__all__ = ["LinearQuantizer", "DEFAULT_RADIUS", "UNPREDICTABLE"]

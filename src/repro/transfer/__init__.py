@@ -1,0 +1,22 @@
+"""WAN transfer simulation (the paper's Globus experiment substrate)."""
+
+from repro.transfer.events import EventQueue, SharedResource, simulate_shared_link
+from repro.transfer.globus import (
+    PAPER_SPEEDS,
+    ThroughputModel,
+    TransferResult,
+    simulate_globus,
+)
+from repro.transfer.network import WanLink, fair_share_completions
+
+__all__ = [
+    "WanLink",
+    "fair_share_completions",
+    "ThroughputModel",
+    "PAPER_SPEEDS",
+    "TransferResult",
+    "simulate_globus",
+    "EventQueue",
+    "SharedResource",
+    "simulate_shared_link",
+]

@@ -1,0 +1,40 @@
+"""A tiny wall-clock timer used by the auto-tuner and experiment harnesses."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch accumulating elapsed wall-clock seconds.
+
+    A single instance can be entered multiple times; ``elapsed`` accumulates
+    across uses, which is how the auto-tuner charges per-pipeline trial costs.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None

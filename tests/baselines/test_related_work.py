@@ -1,0 +1,154 @@
+"""Tests for the related-work compressors: BitGrooming, DigitRounding, TTHRESH."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import TTHRESH, BitGrooming, DigitRounding
+from repro.baselines.bitgrooming import bits_for_relative_error, groom
+from repro.baselines.digitrounding import round_to_quantum
+from repro.baselines.tthresh import hosvd, tucker_reconstruct
+
+
+def smooth(shape, seed=0, noise=0.002):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 3, n) for n in shape], indexing="ij")
+    return sum(np.sin(g * (i + 1)) for i, g in enumerate(grids)) + noise * rng.standard_normal(shape)
+
+
+class TestBitGrooming:
+    def test_groom_masks_mantissa(self):
+        vals = np.array([1.2345678901234, -9.87654321])
+        out = groom(vals, keep_bits=10)
+        # relative error bounded by kept precision
+        assert np.abs((out - vals) / vals).max() <= 2.0 ** -10
+
+    def test_groom_alternates_shave_set(self):
+        vals = np.full(4, 1.0 + 2.0 ** -30)
+        out = groom(vals, keep_bits=8)
+        assert out[0] != out[1]  # shave vs set differ
+        assert out[0] == out[2] and out[1] == out[3]
+
+    def test_zeros_stay_zero(self):
+        out = groom(np.array([0.0, 1.0, 0.0]), keep_bits=4)
+        assert out[0] == 0.0 and out[2] == 0.0
+
+    def test_bits_for_relative_error(self):
+        assert bits_for_relative_error(0.5) == 1
+        assert bits_for_relative_error(2.0 ** -11) == 10
+        with pytest.raises(ValueError):
+            bits_for_relative_error(0.0)
+
+    def test_bad_keep_bits_rejected(self):
+        with pytest.raises(ValueError):
+            groom(np.ones(3), 0)
+
+    def test_roundtrip_and_ratio(self):
+        data = smooth((40, 50))
+        bg = BitGrooming()
+        blob = bg.compress(data, keep_bits=12)
+        dec = bg.decompress(blob)
+        # per-value relative precision from the explicit mantissa budget
+        nz = data != 0
+        assert np.abs((dec - data)[nz] / data[nz]).max() <= 2.0 ** -12
+        assert len(blob) < data.size * 8
+
+    def test_bound_maps_to_bits(self):
+        data = smooth((30, 30)) + 5.0  # keep values away from zero
+        bg = BitGrooming()
+        dec = bg.decompress(bg.compress(data, rel_eb=1e-3))
+        # peak-relative mapping: error <= rel_eb * value range-ish scale
+        span = data.max() - data.min()
+        assert np.abs(dec - data).max() <= 1e-3 * span * 2
+
+    @given(st.integers(min_value=1, max_value=52), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_relative_error_property(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.standard_normal(50) * 10.0 ** rng.integers(-5, 6)
+        out = groom(vals, bits)
+        nz = vals != 0
+        assert np.abs((out - vals)[nz] / vals[nz]).max() <= 2.0 ** -bits
+
+
+class TestDigitRounding:
+    def test_quantum_bound(self):
+        rng = np.random.default_rng(1)
+        vals = rng.standard_normal(1000) * 100
+        out = round_to_quantum(vals, 0.25)
+        assert np.abs(out - vals).max() <= 0.25
+
+    def test_huge_fill_values_pass_through(self):
+        vals = np.array([1.0, 9.96921e36])
+        out = round_to_quantum(vals, 1e-6)
+        assert np.isfinite(out).all()
+
+    def test_bad_eb_rejected(self):
+        with pytest.raises(ValueError):
+            round_to_quantum(np.ones(3), 0.0)
+
+    def test_roundtrip_bound(self):
+        data = smooth((30, 40))
+        dr = DigitRounding()
+        blob = dr.compress(data, abs_eb=1e-3)
+        dec = dr.decompress(blob)
+        assert np.abs(dec - data).max() <= 1e-3
+
+    def test_weaker_than_prediction_compressors(self):
+        """The Underwood-evaluation ordering: SZ3 far ahead of the trimmers."""
+        from repro.baselines import SZ3
+        data = smooth((40, 60))
+        eb = 1e-3
+        sz = len(SZ3().compress(data, abs_eb=eb))
+        dr = len(DigitRounding().compress(data, abs_eb=eb))
+        assert sz < dr
+
+
+class TestTTHRESH:
+    def test_hosvd_exact_reconstruction(self):
+        rng = np.random.default_rng(2)
+        t = rng.standard_normal((6, 7, 8))
+        core, factors = hosvd(t)
+        np.testing.assert_allclose(tucker_reconstruct(core, factors), t, atol=1e-10)
+
+    def test_core_energy_concentrated(self):
+        data = smooth((16, 18, 20), noise=0.0)
+        core, _ = hosvd(data)
+        flat = np.sort(np.abs(core.ravel()))[::-1]
+        assert (flat[:20] ** 2).sum() / (flat ** 2).sum() > 0.99
+
+    def test_rmse_in_regime(self):
+        data = smooth((16, 30, 36))
+        eb = 1e-2
+        tt = TTHRESH()
+        dec = tt.decompress(tt.compress(data, abs_eb=eb))
+        rmse = float(np.sqrt(((dec - data) ** 2).mean()))
+        assert rmse <= eb  # mean error well inside the requested bound
+
+    def test_compresses_lowrank_data_extremely_well(self):
+        a = np.outer(np.sin(np.arange(40) / 5.0), np.cos(np.arange(50) / 7.0))
+        data = np.stack([a * (1 + 0.1 * k) for k in range(12)])
+        blob = TTHRESH().compress(data, abs_eb=1e-4)
+        assert data.size * 4 / len(blob) > 15
+
+    def test_not_pointwise_bounded_flag(self):
+        assert TTHRESH.pointwise_bound is False
+        assert BitGrooming.pointwise_bound is False
+        assert DigitRounding.pointwise_bound is True
+
+    def test_wrong_codec_rejected(self):
+        blob = DigitRounding().compress(np.zeros((4, 4)) + np.eye(4), abs_eb=0.1)
+        with pytest.raises(ValueError):
+            TTHRESH().decompress(blob)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(int(rng.integers(3, 10)) for _ in range(int(rng.integers(1, 4))))
+        data = rng.standard_normal(shape)
+        tt = TTHRESH()
+        dec = tt.decompress(tt.compress(data, abs_eb=0.5))
+        rmse = float(np.sqrt(((dec - data) ** 2).mean()))
+        assert rmse <= 0.5

@@ -1,0 +1,169 @@
+"""Tests for the SPERR baseline (wavelet, SPECK, compressor)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SPERR
+from repro.baselines.sperr.speck import speck_decode, speck_encode
+from repro.baselines.sperr.wavelet import dwt_forward, dwt_inverse, max_dwt_levels
+from repro.encoding.bitstream import BitReader, BitWriter
+
+
+class TestWavelet:
+    @pytest.mark.parametrize("shape", [(64,), (65,), (33, 47), (16, 17, 19), (9,)])
+    def test_perfect_reconstruction(self, shape):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(shape) * 10
+        levels = max_dwt_levels(shape)
+        back = dwt_inverse(dwt_forward(data, levels), levels)
+        assert np.abs(back - data).max() < 1e-9
+
+    def test_zero_levels_is_identity(self):
+        data = np.arange(12.0)
+        np.testing.assert_array_equal(dwt_forward(data, 0), data)
+
+    def test_max_levels_small_array(self):
+        assert max_dwt_levels((4,)) == 0
+        assert max_dwt_levels((8, 8)) == 1
+        assert max_dwt_levels((1024, 1024)) == 4
+
+    def test_energy_compaction_on_smooth_data(self):
+        y, x = np.mgrid[0:128, 0:128]
+        smooth = np.sin(x / 20.0) * np.cos(y / 15.0)
+        co = dwt_forward(smooth, 4)
+        mag2 = np.sort((co ** 2).ravel())[::-1]
+        assert mag2[:164].sum() / mag2.sum() > 0.99  # 1% of coeffs, 99% energy
+
+    def test_input_not_modified(self):
+        data = np.ones((16, 16))
+        copy = data.copy()
+        dwt_forward(data, 2)
+        np.testing.assert_array_equal(data, copy)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_reconstruction_property(self, seed):
+        rng = np.random.default_rng(seed)
+        ndim = int(rng.integers(1, 4))
+        shape = tuple(int(rng.integers(2, 20)) for _ in range(ndim))
+        data = rng.standard_normal(shape) * 100
+        levels = max_dwt_levels(shape)
+        back = dwt_inverse(dwt_forward(data, levels), levels)
+        assert np.abs(back - data).max() < 1e-7
+
+
+class TestSpeck:
+    def roundtrip(self, values):
+        values = np.asarray(values, dtype=np.int64)
+        w = BitWriter()
+        n_planes = speck_encode(values, w)
+        r = BitReader(w.getvalue(), bit_length=w.bit_length)
+        decoded = speck_decode(values.shape, n_planes, r)
+        np.testing.assert_array_equal(decoded, values)
+        return w
+
+    def test_simple_2d(self):
+        self.roundtrip([[0, 1], [-3, 7]])
+
+    def test_all_zero(self):
+        w = BitWriter()
+        assert speck_encode(np.zeros((5, 5), dtype=np.int64), w) == 0
+        assert w.bit_length == 0
+        np.testing.assert_array_equal(
+            speck_decode((5, 5), 0, BitReader(b"")), np.zeros((5, 5), dtype=np.int64))
+
+    @pytest.mark.parametrize("shape", [(17,), (9, 13), (5, 6, 7)])
+    def test_shapes(self, shape):
+        rng = np.random.default_rng(1)
+        vals = (rng.standard_normal(shape) * 20).astype(np.int64)
+        self.roundtrip(vals)
+
+    def test_sparse_is_cheap(self):
+        """A lone spike costs far fewer bits than dense data (set pruning)."""
+        sparse = np.zeros((64, 64), dtype=np.int64)
+        sparse[10, 20] = 1000
+        w_sparse = self.roundtrip(sparse)
+        rng = np.random.default_rng(2)
+        dense = rng.integers(-1000, 1000, (64, 64))
+        w_dense = self.roundtrip(dense)
+        assert w_sparse.bit_length < w_dense.bit_length / 20
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        ndim = int(rng.integers(1, 4))
+        shape = tuple(int(rng.integers(1, 12)) for _ in range(ndim))
+        scale = float(rng.choice([1, 100, 10000]))
+        vals = (rng.standard_normal(shape) * scale).astype(np.int64)
+        self.roundtrip(vals)
+
+
+class TestCompressor:
+    @pytest.mark.parametrize("shape", [(200,), (40, 50), (12, 20, 24)])
+    def test_bound_guaranteed(self, shape):
+        rng = np.random.default_rng(3)
+        grids = np.meshgrid(*[np.linspace(0, 5, n) for n in shape], indexing="ij")
+        data = sum(np.sin(g) for g in grids) + 0.002 * rng.standard_normal(shape)
+        eb = 1e-3
+        dec = SPERR().decompress(SPERR().compress(data, abs_eb=eb))
+        assert np.abs(dec - data).max() <= eb + 1e-12
+
+    def test_outliers_corrected_even_on_rough_data(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((30, 30)) * 50
+        eb = 0.1
+        dec = SPERR().decompress(SPERR().compress(data, abs_eb=eb))
+        assert np.abs(dec - data).max() <= eb + 1e-12
+
+    def test_outlier_section_small_on_smooth_data(self):
+        from repro.encoding.container import Container
+        y, x = np.mgrid[0:64, 0:64]
+        data = np.sin(x / 15.0) + np.cos(y / 10.0)
+        blob = SPERR().compress(data, abs_eb=1e-3)
+        c = Container.from_bytes(blob)
+        assert len(c.section("outliers")) < len(c.section("stream")) / 5
+
+    def test_beats_zfp_on_smooth_data(self):
+        """Rate-distortion ordering from the paper: SPERR > ZFP at high CR."""
+        from repro.baselines import ZFP
+        y, x = np.mgrid[0:96, 0:96]
+        data = np.sin(x / 18.0) * np.cos(y / 13.0)
+        eb = 1e-3
+        sperr_blob = SPERR().compress(data, abs_eb=eb)
+        zfp_blob = ZFP().compress(data, abs_eb=eb)
+        assert len(sperr_blob) < len(zfp_blob)
+
+    def test_float32_restored(self):
+        data = np.ones((16, 16), dtype=np.float32)
+        dec = SPERR().decompress(SPERR().compress(data, abs_eb=0.1))
+        assert dec.dtype == np.float32
+
+    def test_progressive_preview_monotone(self):
+        """Embedded streams: more decoded planes -> monotonically better."""
+        y, x = np.mgrid[0:48, 0:48]
+        data = np.sin(x / 9.0) * np.cos(y / 7.0)
+        blob = SPERR().compress(data, abs_eb=1e-4)
+        errs = [np.abs(SPERR().decompress(blob, preview_planes=k) - data).max()
+                for k in (1, 4, 8)]
+        full_err = np.abs(SPERR().decompress(blob) - data).max()
+        assert errs[0] >= errs[1] >= errs[2] >= full_err
+        assert full_err <= 1e-4 + 1e-12
+
+    def test_preview_beyond_planes_equals_full(self):
+        data = np.outer(np.arange(10.0), np.ones(10))
+        blob = SPERR().compress(data, abs_eb=1e-3)
+        full = SPERR().decompress(blob)
+        np.testing.assert_array_equal(SPERR().decompress(blob, preview_planes=99), full)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_roundtrip_property(self, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple(int(rng.integers(4, 16)) for _ in range(int(rng.integers(1, 4))))
+        data = rng.standard_normal(shape) * float(rng.uniform(0.5, 20))
+        eb = float(rng.uniform(1e-3, 0.5))
+        dec = SPERR().decompress(SPERR().compress(data, abs_eb=eb))
+        assert np.abs(dec - data).max() <= eb + 1e-12

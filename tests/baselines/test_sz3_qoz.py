@@ -1,0 +1,103 @@
+"""Tests for the SZ3 and QoZ baseline compressors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import QoZ, SZ3
+from repro.baselines.qoz import _level_factors
+
+
+def smooth(shape, noise=0.002, seed=0):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 3, n) for n in shape], indexing="ij")
+    return sum(np.sin(g * (i + 1)) for i, g in enumerate(grids)) + noise * rng.standard_normal(shape)
+
+
+class TestSZ3:
+    @pytest.mark.parametrize("shape", [(100,), (30, 40), (12, 14, 16)])
+    def test_roundtrip_bound(self, shape):
+        data = smooth(shape)
+        eb = 1e-3
+        blob = SZ3().compress(data, abs_eb=eb)
+        dec = SZ3().decompress(blob)
+        assert np.abs(dec - data).max() <= eb
+
+    @pytest.mark.parametrize("fitting", ["auto", "linear", "cubic"])
+    def test_fittings(self, fitting):
+        data = smooth((25, 30))
+        blob = SZ3(fitting).compress(data, abs_eb=1e-3)
+        dec = SZ3().decompress(blob)
+        assert np.abs(dec - data).max() <= 1e-3
+
+    def test_bad_fitting_rejected(self):
+        with pytest.raises(ValueError):
+            SZ3("spline")
+
+    def test_float32_restored(self):
+        data = smooth((20, 20)).astype(np.float32)
+        dec = SZ3().decompress(SZ3().compress(data, abs_eb=1e-2))
+        assert dec.dtype == np.float32
+
+    def test_relative_bound_with_mask_range(self):
+        data = smooth((20, 20))
+        data[0, 0] = 1e30
+        mask = np.ones(data.shape, dtype=bool)
+        mask[0, 0] = False
+        blob = SZ3().compress(data, rel_eb=1e-3, mask=mask)
+        dec = SZ3().decompress(blob)
+        span = data[mask].max() - data[mask].min()
+        assert np.abs(dec - data)[mask].max() <= 1e-3 * span
+
+    def test_wrong_codec_rejected(self):
+        from repro import CliZ
+        blob = CliZ().compress(np.zeros((4, 4)) + np.arange(4), abs_eb=0.1)
+        with pytest.raises(ValueError):
+            SZ3().decompress(blob)
+
+
+class TestQoZ:
+    def test_roundtrip_bound(self):
+        data = smooth((30, 40))
+        eb = 1e-3
+        blob = QoZ().compress(data, abs_eb=eb)
+        dec = QoZ().decompress(blob)
+        assert np.abs(dec - data).max() <= eb
+
+    def test_level_factors_shape(self):
+        f = _level_factors(5, alpha=2.0, beta=4.0)
+        assert len(f) == 5
+        assert f[-1] == 1.0            # finest level gets the full bound
+        assert f[0] == 0.25            # coarsest floored at 1/beta
+        assert all(0 < v <= 1 for v in f)
+
+    def test_alpha_one_is_uniform(self):
+        assert _level_factors(4, 1.0, 1.0) == (1.0, 1.0, 1.0, 1.0)
+
+    def test_header_records_tuned_params(self):
+        from repro.encoding.container import Container
+        data = smooth((40, 40))
+        blob = QoZ().compress(data, abs_eb=1e-3)
+        header = Container.from_bytes(blob).header
+        assert (header["alpha"], header["beta"]) in {(1.0, 1.0), (1.25, 2.0), (1.5, 4.0), (2.0, 4.0)}
+
+    def test_qoz_no_worse_psnr_than_sz3_at_same_eb(self):
+        """Level-wise bounds improve quality (the QoZ selling point)."""
+        data = smooth((60, 60), noise=0.01, seed=3)
+        eb = 5e-3
+        sz_dec = SZ3().decompress(SZ3().compress(data, abs_eb=eb))
+        qz_dec = QoZ().decompress(QoZ().compress(data, abs_eb=eb))
+        sz_rmse = np.sqrt(((sz_dec - data) ** 2).mean())
+        qz_rmse = np.sqrt(((qz_dec - data) ** 2).mean())
+        assert qz_rmse <= sz_rmse * 1.05  # at least comparable, usually better
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.floats(min_value=1e-4, max_value=0.3))
+@settings(max_examples=15, deadline=None)
+def test_sz3_roundtrip_property(seed, eb):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(rng.integers(4, 14)) for _ in range(int(rng.integers(1, 4))))
+    data = rng.standard_normal(shape) * 2
+    dec = SZ3().decompress(SZ3().compress(data, abs_eb=eb))
+    assert np.abs(dec - data).max() <= eb

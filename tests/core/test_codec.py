@@ -1,0 +1,86 @@
+"""Tests for the shared stream-codec helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.codec import (
+    decode_bits,
+    decode_code_stream,
+    decode_floats,
+    encode_bits,
+    encode_code_stream,
+    encode_floats,
+)
+
+
+class TestCodeStream:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        codes = rng.integers(0, 1000, 5000)
+        np.testing.assert_array_equal(decode_code_stream(encode_code_stream(codes)), codes)
+
+    def test_empty(self):
+        assert decode_code_stream(encode_code_stream(np.array([], dtype=np.int64))).size == 0
+
+    def test_skewed_stream_compresses(self):
+        rng = np.random.default_rng(1)
+        codes = np.where(rng.random(30000) < 0.95, 32768, 32768 + rng.integers(-5, 6, 30000))
+        blob = encode_code_stream(codes)
+        assert len(blob) < codes.size // 4
+
+    def test_shape_flattened(self):
+        codes = np.arange(12).reshape(3, 4)
+        out = decode_code_stream(encode_code_stream(codes))
+        np.testing.assert_array_equal(out, codes.ravel())
+
+    @given(st.lists(st.integers(min_value=0, max_value=70000), max_size=500))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, values):
+        codes = np.array(values, dtype=np.int64)
+        np.testing.assert_array_equal(decode_code_stream(encode_code_stream(codes)), codes)
+
+
+class TestFloats:
+    def test_exact_roundtrip_incl_specials(self):
+        vals = np.array([0.0, -0.0, 1.5, np.pi, 2.0 ** 122, -2.0 ** -1000, np.inf, -np.inf])
+        out = decode_floats(encode_floats(vals))
+        np.testing.assert_array_equal(out, vals)
+
+    def test_nan_preserved(self):
+        out = decode_floats(encode_floats(np.array([np.nan])))
+        assert np.isnan(out[0])
+
+    def test_empty(self):
+        assert decode_floats(encode_floats(np.array([]))).size == 0
+
+    def test_repetitive_values_compress(self):
+        vals = np.zeros(10000)
+        # LZ token format floor: ~3 bytes per 131-byte match
+        assert len(encode_floats(vals)) < 80000 * 3 / 131 * 1.2
+
+    @given(st.lists(st.floats(allow_nan=False, width=64), max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, values):
+        vals = np.array(values, dtype=np.float64)
+        np.testing.assert_array_equal(decode_floats(encode_floats(vals)), vals)
+
+
+class TestBits:
+    def test_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1]
+        assert decode_bits(encode_bits(bits)) == bits
+
+    def test_empty(self):
+        assert decode_bits(encode_bits([])) == []
+
+    def test_long_sequences(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 999).tolist()
+        assert decode_bits(encode_bits(bits)) == bits
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, bits):
+        assert decode_bits(encode_bits(bits)) == bits

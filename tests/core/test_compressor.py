@@ -1,0 +1,248 @@
+"""End-to-end tests for the CliZ compressor facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CliZ, Layout, PipelineConfig
+from repro.core.compressor import resolve_error_bound
+from repro.encoding.container import Container
+
+
+def climate_like(nlat=24, nlon=30, nt=48, period=12, noise=0.005, seed=0):
+    rng = np.random.default_rng(seed)
+    lat = np.sin(np.linspace(0, 3, nlat))[:, None, None]
+    lon = np.cos(np.linspace(0, 2, nlon))[None, :, None]
+    cycle = rng.standard_normal(period)
+    temporal = np.tile(cycle, nt // period + 1)[:nt][None, None, :]
+    return lat + lon + temporal + noise * rng.standard_normal((nlat, nlon, nt))
+
+
+class TestResolveErrorBound:
+    def test_requires_exactly_one(self):
+        data = np.zeros(4)
+        with pytest.raises(ValueError):
+            resolve_error_bound(data, None, None)
+        with pytest.raises(ValueError):
+            resolve_error_bound(data, 0.1, 0.1)
+
+    def test_absolute_passthrough(self):
+        assert resolve_error_bound(np.zeros(4), 0.25, None) == 0.25
+
+    def test_relative_scales_by_range(self):
+        data = np.array([0.0, 10.0])
+        assert resolve_error_bound(data, None, 0.01) == pytest.approx(0.1)
+
+    def test_relative_uses_valid_range_only(self):
+        data = np.array([0.0, 10.0, 2.0 ** 122])
+        mask = np.array([True, True, False])
+        assert resolve_error_bound(data, None, 0.01, mask) == pytest.approx(0.1)
+
+    def test_constant_field_fallback(self):
+        assert resolve_error_bound(np.full(5, 3.0), None, 0.01) == pytest.approx(0.01)
+
+
+class TestBasicRoundtrip:
+    @pytest.mark.parametrize("shape", [(64,), (20, 25), (10, 12, 14), (5, 6, 7, 8)])
+    def test_bound_holds(self, shape):
+        rng = np.random.default_rng(1)
+        data = np.cumsum(rng.standard_normal(shape), axis=-1)
+        eb = 1e-3
+        blob = CliZ().compress(data, abs_eb=eb)
+        dec = CliZ().decompress(blob)
+        assert dec.shape == data.shape
+        assert np.abs(dec - data).max() <= eb
+
+    def test_float32_dtype_restored(self):
+        data = climate_like().astype(np.float32)
+        blob = CliZ().compress(data, abs_eb=1e-2)
+        dec = CliZ().decompress(blob)
+        assert dec.dtype == np.float32
+        assert np.abs(dec.astype(np.float64) - data.astype(np.float64)).max() <= 1e-2 + 1e-6
+
+    def test_relative_bound(self):
+        data = climate_like()
+        blob = CliZ().compress(data, rel_eb=1e-3)
+        dec = CliZ().decompress(blob)
+        rng_span = data.max() - data.min()
+        assert np.abs(dec - data).max() <= 1e-3 * rng_span
+
+    def test_smaller_eb_larger_blob(self):
+        data = climate_like()
+        b1 = CliZ().compress(data, abs_eb=1e-2)
+        b2 = CliZ().compress(data, abs_eb=1e-4)
+        assert len(b2) > len(b1)
+
+    def test_wrong_codec_rejected(self):
+        blob = Container("zfp").to_bytes()
+        with pytest.raises(ValueError):
+            CliZ().decompress(blob)
+
+    def test_layout_rank_mismatch_rejected(self):
+        cfg = PipelineConfig(layout=Layout.identity(2))
+        with pytest.raises(ValueError):
+            CliZ(cfg).compress(np.zeros((3, 3, 3)), abs_eb=0.1)
+
+    def test_compresses_smooth_data_well(self):
+        y, x = np.mgrid[0:128, 0:128]
+        data = np.sin(x / 25.0) * np.cos(y / 20.0)
+        blob = CliZ().compress(data, abs_eb=1e-3)
+        assert data.size * 4 / len(blob) > 20  # vs 4-byte floats
+
+
+class TestMaskPath:
+    def make_masked(self, use_time=True):
+        data = climate_like()
+        mask2d = (np.add.outer(np.arange(24), np.arange(30)) % 4) != 0
+        mask = np.broadcast_to(mask2d[:, :, None], data.shape).copy()
+        data = data.copy()
+        data[~mask] = 2.0 ** 100
+        return data, mask
+
+    def test_masked_roundtrip(self):
+        data, mask = self.make_masked()
+        blob = CliZ().compress(data, abs_eb=1e-3, mask=mask)
+        dec = CliZ().decompress(blob)
+        assert np.abs(dec - data)[mask].max() <= 1e-3
+        assert (dec[~mask] == 2.0 ** 100).all()
+
+    def test_custom_fill_value(self):
+        data, mask = self.make_masked()
+        blob = CliZ().compress(data, abs_eb=1e-3, mask=mask, fill_value=-999.0)
+        dec = CliZ().decompress(blob)
+        assert (dec[~mask] == -999.0).all()
+
+    def test_mask_improves_ratio_on_filled_data(self):
+        """The paper's Table V 'Mask: No' row: ignoring the mask collapses CR."""
+        data, mask = self.make_masked()
+        eb = 1e-3
+        with_mask = CliZ().compress(data, abs_eb=eb, mask=mask)
+        cfg = PipelineConfig.default(3).with_(use_mask=False)
+        without = CliZ(cfg).compress(data, abs_eb=eb, mask=mask)
+        assert len(with_mask) < len(without)
+
+    def test_use_mask_false_still_roundtrips(self):
+        data, mask = self.make_masked()
+        cfg = PipelineConfig.default(3).with_(use_mask=False)
+        blob = CliZ(cfg).compress(data, abs_eb=1e-3, mask=mask)
+        dec = CliZ(cfg).decompress(blob)
+        assert np.abs(dec - data).max() <= 1e-3  # bound holds even on fills
+
+    def test_all_invalid_mask_rejected(self):
+        data = np.zeros((4, 4))
+        with pytest.raises(ValueError):
+            CliZ().compress(data, abs_eb=0.1, mask=np.zeros((4, 4), dtype=bool))
+
+
+class TestPeriodicPath:
+    def test_periodic_split_used_and_roundtrips(self):
+        data = climate_like(nt=96)
+        cfg = PipelineConfig.default(3).with_(periodic=True, time_axis=2)
+        blob = CliZ(cfg).compress(data, abs_eb=1e-3)
+        header = Container.from_bytes(blob).header
+        assert header["period"] == 12
+        assert {c["name"] for c in header["components"]} == {"template", "residual"}
+        dec = CliZ(cfg).decompress(blob)
+        assert np.abs(dec - data).max() <= 1e-3
+
+    def test_periodicity_improves_ratio(self):
+        """§VI-D: monthly-cycle data compresses better with the split."""
+        data = climate_like(nt=96, noise=0.0005)
+        eb = 1e-3
+        plain = CliZ().compress(data, abs_eb=eb)
+        cfg = PipelineConfig.default(3).with_(periodic=True, time_axis=2)
+        split = CliZ(cfg).compress(data, abs_eb=eb)
+        assert len(split) < len(plain)
+
+    def test_aperiodic_data_falls_back(self):
+        rng = np.random.default_rng(5)
+        data = np.cumsum(rng.standard_normal((10, 12, 64)), axis=2)
+        cfg = PipelineConfig.default(3).with_(periodic=True, time_axis=2)
+        blob = CliZ(cfg).compress(data, abs_eb=1e-2)
+        header = Container.from_bytes(blob).header
+        assert header["period"] is None
+        dec = CliZ(cfg).decompress(blob)
+        assert np.abs(dec - data).max() <= 1e-2
+
+    def test_explicit_period_honoured(self):
+        data = climate_like(nt=96)
+        cfg = PipelineConfig.default(3).with_(periodic=True, time_axis=2, period=24)
+        blob = CliZ(cfg).compress(data, abs_eb=1e-3)
+        assert Container.from_bytes(blob).header["period"] == 24
+        dec = CliZ(cfg).decompress(blob)
+        assert np.abs(dec - data).max() <= 1e-3
+
+    def test_periodic_with_mask(self):
+        data = climate_like(nt=96)
+        mask2d = (np.add.outer(np.arange(24), np.arange(30)) % 3) != 0
+        mask = np.broadcast_to(mask2d[:, :, None], data.shape).copy()
+        data = data.copy()
+        data[~mask] = 2.0 ** 100
+        cfg = PipelineConfig.default(3).with_(periodic=True, time_axis=2)
+        blob = CliZ(cfg).compress(data, abs_eb=1e-3, mask=mask)
+        dec = CliZ(cfg).decompress(blob)
+        assert np.abs(dec - data)[mask].max() <= 1e-3
+
+    def test_time_varying_mask_disables_periodic(self):
+        data = climate_like(nt=96)
+        rng = np.random.default_rng(6)
+        mask = rng.random(data.shape) > 0.2  # varies along time
+        cfg = PipelineConfig.default(3).with_(periodic=True, time_axis=2)
+        blob = CliZ(cfg).compress(data, abs_eb=1e-3, mask=mask)
+        assert Container.from_bytes(blob).header["period"] is None
+
+
+class TestLayoutAndBinclass:
+    def test_all_layouts_roundtrip(self):
+        from repro.core.dims import enumerate_layouts
+        data = climate_like(nlat=10, nlon=12, nt=16)
+        eb = 1e-3
+        for lay in enumerate_layouts(3):
+            cfg = PipelineConfig(layout=lay)
+            blob = CliZ(cfg).compress(data, abs_eb=eb)
+            dec = CliZ(cfg).decompress(blob)
+            assert np.abs(dec - data).max() <= eb, lay
+
+    def test_binclass_roundtrip(self):
+        data = climate_like()
+        cfg = PipelineConfig.default(3).with_(binclass=True, horiz_axes=(0, 1))
+        blob = CliZ(cfg).compress(data, abs_eb=1e-3)
+        dec = CliZ(cfg).decompress(blob)
+        assert np.abs(dec - data).max() <= 1e-3
+
+    def test_binclass_with_mask_and_layout(self):
+        data = climate_like()
+        mask2d = (np.add.outer(np.arange(24), np.arange(30)) % 5) != 0
+        mask = np.broadcast_to(mask2d[:, :, None], data.shape).copy()
+        cfg = PipelineConfig(layout=Layout((2, 0, 1), (1, 2)),
+                             binclass=True, horiz_axes=(0, 1))
+        blob = CliZ(cfg).compress(data, abs_eb=1e-3, mask=mask)
+        dec = CliZ(cfg).decompress(blob)
+        assert np.abs(dec - data)[mask].max() <= 1e-3
+
+    def test_everything_on_together(self):
+        data = climate_like(nt=96)
+        mask2d = (np.add.outer(np.arange(24), np.arange(30)) % 5) != 0
+        mask = np.broadcast_to(mask2d[:, :, None], data.shape).copy()
+        data = data.copy()
+        data[~mask] = 2.0 ** 100
+        cfg = PipelineConfig(layout=Layout((2, 0, 1), (1, 2)), fitting="linear",
+                             periodic=True, time_axis=2,
+                             binclass=True, horiz_axes=(0, 1))
+        blob = CliZ(cfg).compress(data, abs_eb=1e-3, mask=mask)
+        dec = CliZ(cfg).decompress(blob)
+        assert np.abs(dec - data)[mask].max() <= 1e-3
+        assert (dec[~mask] == 2.0 ** 100).all()
+
+
+@given(st.integers(min_value=0, max_value=2**31),
+       st.floats(min_value=1e-4, max_value=0.5))
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_property(seed, eb):
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(rng.integers(4, 12)) for _ in range(int(rng.integers(1, 4))))
+    data = rng.standard_normal(shape) * 3
+    blob = CliZ().compress(data, abs_eb=eb)
+    dec = CliZ().decompress(blob)
+    assert np.abs(dec - data).max() <= eb

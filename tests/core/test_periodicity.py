@@ -1,0 +1,122 @@
+"""Tests for period detection and template/residual decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.periodicity import (
+    detect_period,
+    merge_periodic,
+    row_spectra,
+    split_periodic,
+)
+
+
+def periodic_field(n_space=50, n_time=120, period=12, noise=0.01, seed=0, sharp=True):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_time)
+    if sharp:
+        cycle = rng.standard_normal(period)  # arbitrary periodic waveform
+        temporal = np.tile(cycle, n_time // period + 1)[:n_time]
+    else:
+        temporal = np.sin(2 * np.pi * t / period)
+    space = rng.standard_normal(n_space)
+    return space[:, None] * 0.1 + temporal[None, :] + noise * rng.standard_normal((n_space, n_time))
+
+
+class TestRowSpectra:
+    def test_shape_and_dc_zeroed(self):
+        data = periodic_field()
+        spec = row_spectra(data, time_axis=1, n_rows=5)
+        assert spec.shape == (5, 61)
+        assert (spec[:, 0] == 0).all()
+
+    def test_mask_restricts_rows(self):
+        data = periodic_field(n_space=20)
+        mask = np.ones(data.shape, dtype=bool)
+        mask[10:] = False
+        spec = row_spectra(data, time_axis=1, n_rows=30, mask=mask)
+        assert spec.shape[0] <= 10
+
+
+class TestDetectPeriod:
+    def test_finds_known_period(self):
+        data = periodic_field(period=12, n_time=120)
+        assert detect_period(data, time_axis=1) == 12
+
+    @pytest.mark.parametrize("period", [6, 8, 24])
+    def test_various_periods(self, period):
+        data = periodic_field(period=period, n_time=period * 12)
+        assert detect_period(data, time_axis=1) == period
+
+    def test_prefers_fundamental_over_harmonics(self):
+        """Paper Fig. 8: peaks at f=86 and multiples; take the smallest f."""
+        n_time = 1032 // 4  # scaled SSH: 258 steps, period 12 -> f ~ 21.5
+        data = periodic_field(period=12, n_time=n_time, n_space=30)
+        assert detect_period(data, time_axis=1) == 12
+
+    def test_aperiodic_returns_none(self):
+        rng = np.random.default_rng(3)
+        data = np.cumsum(rng.standard_normal((30, 200)), axis=1)
+        assert detect_period(data, time_axis=1) is None
+
+    def test_white_noise_returns_none(self):
+        rng = np.random.default_rng(4)
+        data = rng.standard_normal((30, 200))
+        assert detect_period(data, time_axis=1) is None
+
+    def test_too_short_series_returns_none(self):
+        data = periodic_field(n_time=6, period=3)
+        assert detect_period(data, time_axis=1) is None
+
+    def test_time_axis_zero(self):
+        data = periodic_field(period=10, n_time=100).T.copy()
+        assert detect_period(data, time_axis=0) == 10
+
+
+class TestSplitMerge:
+    def test_exact_reconstruction(self):
+        data = periodic_field()
+        template, residual = split_periodic(data, time_axis=1, period=12)
+        assert template.shape == (50, 12)
+        assert residual.shape == data.shape
+        merged = merge_periodic(template, residual, time_axis=1)
+        np.testing.assert_allclose(merged, data, atol=1e-12)
+
+    def test_ragged_tail(self):
+        data = periodic_field(n_time=125, period=12)  # 125 = 10*12 + 5
+        template, residual = split_periodic(data, time_axis=1, period=12)
+        merged = merge_periodic(template, residual, time_axis=1)
+        np.testing.assert_allclose(merged, data, atol=1e-12)
+
+    def test_residual_much_smaller_than_signal(self):
+        """§VI-D: removing the periodic component leaves near-zero residuals."""
+        data = periodic_field(noise=0.001)
+        _, residual = split_periodic(data, time_axis=1, period=12)
+        assert np.abs(residual).mean() < 0.1 * np.abs(data - data.mean()).mean()
+
+    def test_time_axis_position_independent(self):
+        data = periodic_field()
+        t0, r0 = split_periodic(data.T.copy(), time_axis=0, period=12)
+        t1, r1 = split_periodic(data, time_axis=1, period=12)
+        np.testing.assert_allclose(t0, t1.T)
+        np.testing.assert_allclose(r0, r1.T)
+
+    def test_bad_period_rejected(self):
+        data = periodic_field()
+        with pytest.raises(ValueError):
+            split_periodic(data, time_axis=1, period=1)
+        with pytest.raises(ValueError):
+            split_periodic(data, time_axis=1, period=1000)
+
+
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30, deadline=None)
+def test_split_merge_roundtrip_property(period, seed):
+    rng = np.random.default_rng(seed)
+    n_time = int(rng.integers(period, 6 * period))
+    data = rng.standard_normal((7, n_time))
+    template, residual = split_periodic(data, time_axis=1, period=period)
+    merged = merge_periodic(template, residual, time_axis=1)
+    np.testing.assert_allclose(merged, data, atol=1e-10)

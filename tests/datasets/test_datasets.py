@@ -1,0 +1,146 @@
+"""Tests for the synthetic climate dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core import detect_period
+from repro.datasets import (
+    CESM_FILL_VALUE,
+    DATASETS,
+    load,
+    roughness,
+    synth_topography,
+    table_iii_rows,
+    threshold_mask,
+)
+
+
+class TestTopography:
+    def test_range_normalized(self):
+        t = synth_topography((40, 60))
+        assert t.min() == 0.0 and t.max() == 1.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(synth_topography((20, 20), seed=3),
+                                      synth_topography((20, 20), seed=3))
+
+    def test_seed_changes_field(self):
+        assert not np.array_equal(synth_topography((20, 20), seed=0),
+                                  synth_topography((20, 20), seed=1))
+
+    def test_smoothness_increases_with_beta(self):
+        rough = synth_topography((64, 64), beta=1.0, seed=0)
+        smooth = synth_topography((64, 64), beta=3.0, seed=0)
+        def tv(f):
+            return np.abs(np.diff(f, axis=0)).mean() / (f.std() or 1)
+        assert tv(smooth) < tv(rough)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            synth_topography((4, 4, 4))
+
+    def test_threshold_mask_fraction(self):
+        t = synth_topography((50, 50))
+        m = threshold_mask(t, 0.7)
+        assert 0.65 <= m.mean() <= 0.75
+
+    def test_threshold_mask_bad_fraction(self):
+        with pytest.raises(ValueError):
+            threshold_mask(np.zeros((4, 4)), 1.0)
+
+    def test_roughness_range(self):
+        r = roughness(synth_topography((30, 30)))
+        assert r.min() >= 0.0 and r.max() <= 1.0
+
+
+class TestRegistry:
+    def test_all_six_datasets_present(self):
+        assert set(DATASETS) == {"SSH", "CESM-T", "RELHUM", "SOILLIQ", "Tsfc", "Hurricane-T"}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            load("TEMP2M")
+
+    def test_table_iii_structure(self):
+        rows = table_iii_rows()
+        assert len(rows) == 6
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["SSH"]["mask"] == "Yes" and by_name["SSH"]["period"] == "Yes"
+        assert by_name["CESM-T"]["mask"] == "No" and by_name["CESM-T"]["period"] == "No"
+        assert by_name["SOILLIQ"]["paper_dims"] == (360, 15, 96, 144)
+
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_generators_deterministic(self, name):
+        a = load(name)
+        b = load(name)
+        np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestFieldProperties:
+    @pytest.mark.parametrize("name", list(DATASETS))
+    def test_shape_and_dtype(self, name):
+        f = load(name)
+        assert f.data.dtype == np.float32
+        assert f.data.ndim == len(f.axes)
+        if f.mask is not None:
+            assert f.mask.shape == f.data.shape
+
+    @pytest.mark.parametrize("name", ["SSH", "SOILLIQ", "Tsfc"])
+    def test_masked_datasets_carry_fill_values(self, name):
+        f = load(name)
+        assert f.mask is not None
+        assert (f.data[~f.mask] == CESM_FILL_VALUE).all()
+        assert np.abs(f.data[f.mask]).max() < 1e6  # valid data is physical
+
+    @pytest.mark.parametrize("name", ["CESM-T", "RELHUM", "Hurricane-T"])
+    def test_unmasked_datasets(self, name):
+        f = load(name)
+        assert f.mask is None
+        assert f.valid_fraction == 1.0
+
+    def test_soilliq_mostly_invalid(self):
+        """Paper: ~70% of the surface is water, invalid for the land model."""
+        f = load("SOILLIQ")
+        assert 0.6 <= 1.0 - f.valid_fraction <= 0.8
+
+    @pytest.mark.parametrize("name", ["SSH", "SOILLIQ", "Tsfc"])
+    def test_declared_period_is_detectable(self, name):
+        f = load(name)
+        detected = detect_period(f.data.astype(np.float64), f.time_axis, mask=f.mask)
+        assert detected == f.true_period == 12
+
+    @pytest.mark.parametrize("name", ["CESM-T", "RELHUM", "Hurricane-T"])
+    def test_aperiodic_datasets(self, name):
+        f = load(name)
+        assert f.true_period is None and f.time_axis is None
+
+    def test_mask_time_invariant(self):
+        for name in ["SSH", "Tsfc"]:
+            f = load(name)
+            moved = np.moveaxis(f.mask, f.time_axis, 0)
+            assert (moved == moved[0]).all()
+
+    def test_cesm_t_height_axis_roughest(self):
+        """§V-B: variation along height dwarfs lat/lon variation."""
+        f = load("CESM-T")
+        diffs = [np.abs(np.diff(f.data.astype(np.float64), axis=a)).mean() for a in range(3)]
+        assert diffs[0] > 5 * diffs[1]
+        assert diffs[0] > 5 * diffs[2]
+
+    def test_custom_shape(self):
+        f = load("SSH", shape=(12, 10, 48))
+        assert f.shape == (12, 10, 48)
+
+    def test_tuner_kwargs(self):
+        f = load("SSH")
+        kw = f.tuner_kwargs()
+        assert kw == {"time_axis": 2, "horiz_axes": (0, 1)}
+
+    def test_hurricane_has_eye_structure(self):
+        """The vortex core must be colder than its surroundings at low level."""
+        f = load("Hurricane-T")
+        low = f.data[0].astype(np.float64)
+        nlat, nlon = low.shape
+        core = low[nlat // 2 - 5 : nlat // 2 + 5, nlon // 2 - 5 : nlon // 2 + 5]
+        edge = low[:5, :5]
+        assert core.mean() < edge.mean()

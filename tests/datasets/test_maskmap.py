@@ -1,0 +1,73 @@
+"""Tests for CESM-style mask-map region labeling (Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import label_mask_regions, load, region_summary
+
+
+class TestLabeling:
+    def test_empty_mask(self):
+        out = label_mask_regions(np.zeros((5, 5), dtype=bool))
+        assert (out == 0).all()
+
+    def test_single_ocean(self):
+        valid = np.ones((6, 6), dtype=bool)
+        out = label_mask_regions(valid)
+        assert (out == 1).all()
+
+    def test_inland_lake_gets_negative_label(self):
+        valid = np.zeros((20, 20), dtype=bool)
+        valid[:, :3] = True            # ocean strip touching the edge
+        valid[8:11, 8:11] = True       # small enclosed lake
+        out = label_mask_regions(valid)
+        assert (out[:, :3] == 1).all()
+        assert (out[8:11, 8:11] < 0).all()
+        assert (out[~valid] == 0).all()
+
+    def test_two_ocean_parts(self):
+        valid = np.zeros((10, 30), dtype=bool)
+        valid[:, :5] = True
+        valid[:, -5:] = True
+        out = label_mask_regions(valid)
+        labels = set(np.unique(out)) - {0}
+        assert labels == {1, 2}
+
+    def test_large_interior_component_counts_as_ocean(self):
+        valid = np.zeros((30, 30), dtype=bool)
+        valid[5:25, 5:25] = True  # 400 of 400 valid points, not touching edges
+        out = label_mask_regions(valid)
+        assert out.max() == 1 and out.min() == 0
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            label_mask_regions(np.zeros((3, 3, 3), dtype=bool))
+
+    def test_invalid_points_stay_zero_everywhere(self):
+        rng = np.random.default_rng(0)
+        valid = rng.random((25, 25)) > 0.5
+        out = label_mask_regions(valid)
+        assert (out[~valid] == 0).all()
+        assert (out[valid] != 0).all()
+
+
+class TestSummary:
+    def test_summary_counts(self):
+        valid = np.zeros((20, 20), dtype=bool)
+        valid[:, :3] = True
+        valid[8:11, 8:11] = True
+        summary = region_summary(label_mask_regions(valid))
+        assert summary["ocean_parts"] == 1
+        assert summary["inland_bodies"] == 1
+        assert summary["ocean_points"] == 60
+        assert summary["inland_points"] == 9
+        assert summary["invalid_points"] == 400 - 69
+
+    def test_ssh_mask_has_all_three_categories(self):
+        """The synthetic SSH reproduces the paper's Fig. 3(b) structure."""
+        field = load("SSH")
+        mask2d = field.mask[:, :, 0]
+        summary = region_summary(label_mask_regions(mask2d))
+        assert summary["invalid_points"] > 0
+        assert summary["ocean_parts"] >= 1
+        assert summary["inland_bodies"] >= 1

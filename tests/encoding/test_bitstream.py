@@ -1,0 +1,185 @@
+"""Unit and property tests for MSB-first bit I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitstream import BitReader, BitWriter
+
+
+class TestBitWriterBasics:
+    def test_empty_writer_yields_empty_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_byte_msb_first(self):
+        w = BitWriter()
+        w.write(0b10110001, 8)
+        assert w.getvalue() == bytes([0b10110001])
+
+    def test_partial_byte_right_padded(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+        assert w.bit_length == 3
+
+    def test_cross_byte_write(self):
+        w = BitWriter()
+        w.write(0xABC, 12)
+        assert w.getvalue() == bytes([0xAB, 0xC0])
+
+    def test_zero_bit_write_is_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert w.bit_length == 0
+        assert w.getvalue() == b""
+
+    def test_write_bit(self):
+        w = BitWriter()
+        for b in [1, 0, 1, 1]:
+            w.write_bit(b)
+        assert w.getvalue() == bytes([0b10110000])
+
+    def test_value_too_wide_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(4, 2)
+
+    def test_negative_value_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(-1, 3)
+
+    def test_nbits_over_64_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(0, 65)
+
+    def test_64bit_write_roundtrip(self):
+        w = BitWriter()
+        val = (1 << 64) - 3
+        w.write(val, 64)
+        r = BitReader(w.getvalue())
+        assert r.read(64) == val
+
+    def test_getvalue_idempotent(self):
+        w = BitWriter()
+        w.write(0b1101, 4)
+        assert w.getvalue() == w.getvalue()
+
+    def test_write_after_getvalue_continues_stream(self):
+        w = BitWriter()
+        w.write(0xF, 4)
+        _ = w.getvalue()
+        w.write(0x0, 4)
+        assert w.getvalue() == bytes([0xF0])
+
+
+class TestBulkPaths:
+    def test_write_array_fixed_width(self):
+        w = BitWriter()
+        w.write_array(np.array([1, 2, 3]), 4)
+        assert w.getvalue() == bytes([0x12, 0x30])
+
+    def test_varwidth_matches_scalar_writes(self):
+        codes = np.array([0b1, 0b10, 0b111, 0b0], dtype=np.uint64)
+        lens = np.array([1, 2, 3, 4], dtype=np.uint8)
+        w1 = BitWriter()
+        w1.write_varwidth(codes, lens)
+        w2 = BitWriter()
+        for c, l in zip(codes, lens):
+            w2.write(int(c), int(l))
+        assert w1.getvalue() == w2.getvalue()
+        assert w1.bit_length == w2.bit_length == 10
+
+    def test_varwidth_shape_mismatch_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_varwidth(np.array([1, 2], dtype=np.uint64), np.array([1], dtype=np.uint8))
+
+    def test_write_bool_array(self):
+        w = BitWriter()
+        w.write_bool_array(np.array([1, 0, 1, 0, 1, 0, 1, 0]))
+        assert w.getvalue() == bytes([0b10101010])
+
+    def test_read_array_roundtrip(self):
+        vals = np.arange(100, dtype=np.uint64) % 32
+        w = BitWriter()
+        w.write_array(vals, 5)
+        r = BitReader(w.getvalue())
+        np.testing.assert_array_equal(r.read_array(100, 5), vals)
+
+    def test_read_bool_array_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 777).astype(np.uint8)
+        w = BitWriter()
+        w.write_bool_array(bits)
+        r = BitReader(w.getvalue())
+        np.testing.assert_array_equal(r.read_bool_array(777), bits)
+
+
+class TestBitReader:
+    def test_read_past_end_raises(self):
+        r = BitReader(b"\xff")
+        r.read(8)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_bit_length_limit_enforced(self):
+        r = BitReader(b"\xff", bit_length=3)
+        assert r.read(3) == 0b111
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_bit_length_beyond_data_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\xff", bit_length=9)
+
+    def test_seek(self):
+        r = BitReader(bytes([0b10110001]))
+        r.seek(4)
+        assert r.read(4) == 0b0001
+        r.seek(0)
+        assert r.read(4) == 0b1011
+
+    def test_seek_out_of_range(self):
+        r = BitReader(b"\x00")
+        with pytest.raises(ValueError):
+            r.seek(9)
+
+    def test_bits_remaining(self):
+        r = BitReader(b"\x00\x00")
+        r.read(5)
+        assert r.bits_remaining == 11
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**32 - 1),
+                          st.integers(min_value=1, max_value=32)), max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_scalar_roundtrip_property(pairs):
+    """Any sequence of (value, width) writes reads back exactly."""
+    pairs = [(v & ((1 << n) - 1), n) for v, n in pairs]
+    w = BitWriter()
+    for v, n in pairs:
+        w.write(v, n)
+    r = BitReader(w.getvalue(), bit_length=w.bit_length)
+    for v, n in pairs:
+        assert r.read(n) == v
+    assert r.bits_remaining == 0
+
+
+@given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=16),
+       st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=40, deadline=None)
+def test_mixed_scalar_and_bulk_property(n, width, seed):
+    """Interleaving scalar writes and bulk array writes preserves order."""
+    rng = np.random.default_rng(seed)
+    arr = rng.integers(0, 1 << width, n).astype(np.uint64)
+    w = BitWriter()
+    w.write(0b101, 3)
+    w.write_array(arr, width)
+    w.write(0b11, 2)
+    r = BitReader(w.getvalue())
+    assert r.read(3) == 0b101
+    np.testing.assert_array_equal(r.read_array(n, width), arr)
+    assert r.read(2) == 0b11

@@ -1,0 +1,69 @@
+"""Additional Huffman edge cases: length limiting, adversarial tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.bitstream import BitWriter
+from repro.encoding.huffman import MAX_CODE_LENGTH, HuffmanCode
+
+
+class TestLengthLimiting:
+    def test_exact_power_alphabet_uniform(self):
+        """Uniform 2^k alphabets get exactly k-bit codes."""
+        for k in (1, 3, 6):
+            code = HuffmanCode.from_frequencies(np.full(1 << k, 10))
+            assert (code.lengths == k).all()
+
+    def test_maximum_alphabet_at_limit(self):
+        """2^16 uniform symbols exactly saturate the 16-bit limit."""
+        code = HuffmanCode.from_frequencies(np.ones(1 << MAX_CODE_LENGTH, dtype=np.int64))
+        assert (code.lengths == MAX_CODE_LENGTH).all()
+
+    def test_extreme_skew_keeps_rare_symbols_decodable(self):
+        freqs = np.ones(100, dtype=np.int64)
+        freqs[0] = 10 ** 12
+        code = HuffmanCode.from_frequencies(freqs)
+        assert int(code.lengths.max()) <= MAX_CODE_LENGTH
+        symbols = np.concatenate([np.zeros(50, np.int64), np.arange(100)])
+        w = BitWriter()
+        code.encode(symbols, w)
+        decoded, _ = code.decode(w.getvalue(), symbols.size)
+        np.testing.assert_array_equal(decoded, symbols)
+
+    def test_geometric_frequencies(self):
+        """Powers-of-two frequencies: worst case for unlimited depth."""
+        freqs = np.array([1 << min(i, 40) for i in range(30)], dtype=np.int64)
+        code = HuffmanCode.from_frequencies(freqs)
+        assert int(code.lengths[code.lengths > 0].max()) <= MAX_CODE_LENGTH
+        used = code.lengths[code.lengths > 0].astype(int)
+        assert sum(2.0 ** -used) <= 1.0 + 1e-12
+
+    @given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=2, max_value=3000))
+    @settings(max_examples=25, deadline=None)
+    def test_limit_property(self, seed, alphabet):
+        rng = np.random.default_rng(seed)
+        # log-uniform frequencies stress the depth
+        freqs = np.exp(rng.uniform(0, 25, alphabet)).astype(np.int64)
+        code = HuffmanCode.from_frequencies(freqs)
+        used = code.lengths[code.lengths > 0].astype(int)
+        assert used.max() <= MAX_CODE_LENGTH
+        assert sum(2.0 ** -used) <= 1.0 + 1e-12
+
+
+class TestDecodeRobustness:
+    def test_all_ones_stream(self):
+        code = HuffmanCode.from_frequencies(np.array([1, 1]))
+        decoded, _ = code.decode(b"\xff", 8)
+        assert decoded.size == 8
+
+    def test_offset_beyond_stream_raises(self):
+        code = HuffmanCode.from_frequencies(np.array([1, 1]))
+        with pytest.raises(EOFError):
+            code.decode(b"\x00", 9)
+
+    def test_decode_empty_alphabet_stream_raises(self):
+        code = HuffmanCode(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(EOFError):
+            code.decode(b"\x00", 1)

@@ -1,0 +1,92 @@
+"""Tests for the LZ77 lossless backend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.lz import lz_compress, lz_decompress
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("data", [
+        b"",
+        b"a",
+        b"abc",
+        b"aaaaaaaaaaaaaaaaaaaaaaaa",
+        b"abcd" * 100,
+        bytes(range(256)) * 4,
+        b"\x00" * 10000,
+    ])
+    def test_exact_roundtrip(self, data):
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_random_bytes_roundtrip(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, 50000, dtype=np.uint8).tobytes()
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_overlapping_match_semantics(self):
+        # 'abc' repeated: matches overlap their own output.
+        data = b"abcabcabcabcabcabcabcabcabcabc"
+        assert lz_decompress(lz_compress(data)) == data
+
+    def test_long_runs_chain_tokens(self):
+        data = b"x" * 100000
+        blob = lz_compress(data)
+        assert lz_decompress(blob) == data
+        assert len(blob) < 3000
+
+
+class TestCompressionBehaviour:
+    def test_repetitive_data_shrinks(self):
+        data = b"climate-data-" * 2000
+        assert len(lz_compress(data)) < len(data) // 10
+
+    def test_incompressible_data_bounded_expansion(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        assert len(lz_compress(data)) <= len(data) + 6
+
+    def test_zero_heavy_huffman_stream_shrinks(self):
+        """The actual use case: residual redundancy in entropy-coded data."""
+        rng = np.random.default_rng(2)
+        data = bytes(np.where(rng.random(30000) < 0.95, 0, rng.integers(0, 256, 30000)).astype(np.uint8))
+        assert len(lz_compress(data)) < len(data) // 3
+
+
+class TestErrors:
+    def test_empty_blob_raises(self):
+        with pytest.raises(EOFError):
+            lz_decompress(b"")
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError):
+            lz_decompress(b"\x07\x00")
+
+    def test_truncated_stored_block(self):
+        blob = lz_compress(b"hi")
+        with pytest.raises(EOFError):
+            lz_decompress(blob[:-1])
+
+    def test_truncated_compressed_block(self):
+        blob = lz_compress(b"abcd" * 100)
+        assert blob[0] == 1  # actually compressed
+        with pytest.raises((EOFError, ValueError)):
+            lz_decompress(blob[: len(blob) - 3])
+
+
+@given(st.binary(max_size=5000))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(data):
+    assert lz_decompress(lz_compress(data)) == data
+
+
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=1, max_value=400))
+@settings(max_examples=40, deadline=None)
+def test_tiled_roundtrip_property(tile, reps):
+    data = tile * reps
+    blob = lz_compress(data)
+    assert lz_decompress(blob) == data
+    if len(data) > 2000:
+        assert len(blob) < len(data)

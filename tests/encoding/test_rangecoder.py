@@ -1,0 +1,114 @@
+"""Tests for the static range (arithmetic) coder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.rangecoder import RangeModel, rc_decode, rc_encode
+
+
+def roundtrip(symbols, alphabet=None):
+    symbols = np.asarray(symbols, dtype=np.int64)
+    if alphabet is None:
+        alphabet = int(symbols.max()) + 1 if symbols.size else 1
+    model = RangeModel(np.bincount(symbols, minlength=alphabet))
+    blob = rc_encode(symbols, model)
+    decoded = rc_decode(blob, model, symbols.size)
+    np.testing.assert_array_equal(decoded, symbols)
+    return blob, model
+
+
+class TestModel:
+    def test_frequencies_quantize_to_total(self):
+        model = RangeModel(np.array([100, 50, 25]))
+        assert int(model.freq.sum()) == 1 << 14
+        assert (model.freq > 0).all()
+
+    def test_rare_symbols_keep_nonzero_mass(self):
+        freqs = np.zeros(100, dtype=np.int64)
+        freqs[0] = 10**9
+        freqs[99] = 1
+        model = RangeModel(freqs)
+        assert model.freq[99] >= 1
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            RangeModel(np.zeros(5, dtype=np.int64))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RangeModel(np.array([-1, 2]))
+
+    def test_serialization_roundtrip(self):
+        rng = np.random.default_rng(0)
+        model = RangeModel(rng.integers(0, 1000, 300))
+        model2, pos = RangeModel.deserialize(model.serialize())
+        np.testing.assert_array_equal(model2.freq, model.freq)
+
+    def test_corrupt_model_rejected(self):
+        model = RangeModel(np.array([3, 5]))
+        blob = bytearray(model.serialize())
+        blob[-1] ^= 0x01
+        with pytest.raises((ValueError, EOFError, IndexError)):
+            RangeModel.deserialize(bytes(blob))
+
+
+class TestCodec:
+    def test_simple(self):
+        roundtrip([0, 1, 2, 1, 0, 0])
+
+    def test_empty_stream(self):
+        model = RangeModel(np.array([1, 1]))
+        assert rc_decode(rc_encode(np.array([], dtype=np.int64), model), model, 0).size == 0
+
+    def test_single_symbol_alphabet(self):
+        roundtrip(np.zeros(5000, dtype=np.int64), alphabet=1)
+
+    def test_long_skewed_stream(self):
+        rng = np.random.default_rng(1)
+        syms = np.where(rng.random(50000) < 0.95, 0, rng.integers(1, 32, 50000))
+        blob, _ = roundtrip(syms)
+        # near-entropy: far below Huffman's 1-bit floor per symbol
+        assert len(blob) * 8 / syms.size < 0.6
+
+    def test_beats_huffman_on_peaked_streams(self):
+        from repro.encoding.bitstream import BitWriter
+        from repro.encoding.huffman import HuffmanCode
+        rng = np.random.default_rng(2)
+        syms = np.where(rng.random(20000) < 0.9, 7, rng.integers(0, 16, 20000))
+        model = RangeModel(np.bincount(syms, minlength=16))
+        rc_len = len(rc_encode(syms, model))
+        code = HuffmanCode.from_symbols(syms, 16)
+        w = BitWriter()
+        code.encode(syms, w)
+        assert rc_len < w.bit_length / 8
+
+    def test_out_of_alphabet_symbol_rejected(self):
+        model = RangeModel(np.array([1, 1]))
+        with pytest.raises(ValueError):
+            rc_encode(np.array([2]), model)
+
+    def test_zero_frequency_symbol_rejected(self):
+        model = RangeModel(np.array([5, 0, 5]))
+        with pytest.raises(ValueError):
+            rc_encode(np.array([1]), model)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), max_size=2000))
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(symbol_list):
+    symbols = np.array(symbol_list, dtype=np.int64)
+    if symbols.size == 0:
+        return
+    roundtrip(symbols)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.integers(min_value=2, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_skew_roundtrip_property(seed, alphabet):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 3000))
+    peak = int(rng.integers(0, alphabet))
+    syms = np.where(rng.random(n) < 0.8, peak, rng.integers(0, alphabet, n))
+    roundtrip(syms, alphabet)

@@ -1,0 +1,94 @@
+"""Tests for LEB128 varints and zigzag mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.varint import (
+    decode_uvarint,
+    decode_uvarint_array,
+    encode_uvarint,
+    encode_uvarint_array,
+    zigzag_decode,
+    zigzag_encode,
+)
+
+
+class TestScalarVarint:
+    @pytest.mark.parametrize("value,expected", [
+        (0, b"\x00"),
+        (1, b"\x01"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (300, b"\xac\x02"),
+    ])
+    def test_known_encodings(self, value, expected):
+        out = bytearray()
+        encode_uvarint(value, out)
+        assert bytes(out) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1, bytearray())
+
+    def test_truncated_raises(self):
+        with pytest.raises(EOFError):
+            decode_uvarint(b"\x80", 0)
+
+    def test_decode_returns_position(self):
+        out = bytearray()
+        encode_uvarint(300, out)
+        encode_uvarint(5, out)
+        v1, pos = decode_uvarint(bytes(out), 0)
+        v2, pos = decode_uvarint(bytes(out), pos)
+        assert (v1, v2) == (300, 5)
+        assert pos == len(out)
+
+
+class TestArrayVarint:
+    def test_empty_array(self):
+        assert encode_uvarint_array(np.array([], dtype=np.uint64)) == b""
+        vals, pos = decode_uvarint_array(b"", 0)
+        assert vals.size == 0 and pos == 0
+
+    def test_matches_scalar_encoding(self):
+        vals = np.array([0, 1, 127, 128, 300, 2**40], dtype=np.uint64)
+        expected = bytearray()
+        for v in vals:
+            encode_uvarint(int(v), expected)
+        assert encode_uvarint_array(vals) == bytes(expected)
+
+    def test_truncated_array_raises(self):
+        blob = encode_uvarint_array(np.array([5, 6], dtype=np.uint64))
+        with pytest.raises(EOFError):
+            decode_uvarint_array(blob, 3)
+
+    def test_decode_respects_offset(self):
+        blob = b"\xff" + encode_uvarint_array(np.array([42], dtype=np.uint64))
+        # 0xff is a continuation byte; starting at pos=1 skips it.
+        vals, pos = decode_uvarint_array(blob, 1, pos=1)
+        assert vals[0] == 42
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**63 - 1), max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_array_roundtrip_property(values):
+    vals = np.array(values, dtype=np.uint64)
+    blob = encode_uvarint_array(vals)
+    decoded, pos = decode_uvarint_array(blob, len(vals))
+    np.testing.assert_array_equal(decoded, vals)
+    assert pos == len(blob)
+
+
+@given(st.lists(st.integers(min_value=-2**62, max_value=2**62), max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_zigzag_roundtrip_property(values):
+    vals = np.array(values, dtype=np.int64)
+    np.testing.assert_array_equal(zigzag_decode(zigzag_encode(vals)), vals)
+
+
+def test_zigzag_known_values():
+    np.testing.assert_array_equal(
+        zigzag_encode(np.array([0, -1, 1, -2, 2])), np.array([0, 1, 2, 3, 4], dtype=np.uint64)
+    )

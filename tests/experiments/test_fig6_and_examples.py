@@ -1,0 +1,44 @@
+"""Fig. 6 harness tests + example smoke tests."""
+
+import runpy
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig6_maskfit
+
+
+class TestFig6:
+    def test_theorem1_beats_naive_alternatives(self):
+        result = fig6_maskfit.run("Tsfc")
+        by = {r["Predictor"].split(",")[0].split()[0]: r for r in result.rows}
+        t1 = result.rows[0]["Mean |err|"]
+        zero_fill = result.rows[1]["Mean |err|"]
+        use_fill = result.rows[2]["Mean |err|"]
+        assert t1 < zero_fill          # adjusted coefficients win
+        assert use_fill > 1e30         # raw fills are catastrophic
+        assert all(r["Stencils"] > 0 for r in result.rows)
+
+    def test_unmasked_dataset_rejected(self):
+        with pytest.raises(RuntimeError):
+            fig6_maskfit.run("CESM-T")
+
+    def test_same_stencil_count_across_modes(self):
+        result = fig6_maskfit.run("SSH")
+        counts = {r["Stencils"] for r in result.rows}
+        assert len(counts) == 1
+
+
+class TestExamples:
+    """The fast examples must run end to end (slow ones run by hand)."""
+
+    def test_quickstart(self, capsys):
+        runpy.run_path("examples/quickstart.py", run_name="__main__")
+        out = capsys.readouterr().out
+        assert "error bound holds" in out
+
+    def test_custom_pipeline(self, capsys):
+        runpy.run_path("examples/custom_pipeline.py", run_name="__main__")
+        out = capsys.readouterr().out
+        assert "periodic template/residual split" in out
+        assert "container codec='cliz'" in out

@@ -1,0 +1,57 @@
+"""RCDF variables through every registered codec."""
+
+import numpy as np
+import pytest
+
+from repro import COMPRESSORS
+from repro.io import RcdfDataset
+
+BOUNDED = [n for n, c in COMPRESSORS.items() if getattr(c, "pointwise_bound", True)]
+UNBOUNDED = [n for n in COMPRESSORS if n not in BOUNDED]
+
+
+def make(codec):
+    ds = RcdfDataset()
+    ds.create_dimension("y", 20)
+    ds.create_dimension("x", 24)
+    rng = np.random.default_rng(0)
+    data = (np.sin(np.arange(20) / 3.0)[:, None]
+            + np.cos(np.arange(24) / 4.0)[None, :]
+            + 0.01 * rng.standard_normal((20, 24))).astype(np.float32)
+    ds.add_variable("v", ("y", "x"), data, codec=codec, abs_eb=1e-2)
+    return ds, data
+
+
+@pytest.mark.parametrize("codec", BOUNDED)
+def test_bounded_codecs_in_rcdf(codec):
+    ds, data = make(codec)
+    back = RcdfDataset.from_bytes(ds.to_bytes()).get("v")
+    err = np.abs(back.data.astype(np.float64) - data.astype(np.float64)).max()
+    assert err <= 1e-2 + 1e-6, codec
+    assert back.codec == codec
+
+
+@pytest.mark.parametrize("codec", UNBOUNDED)
+def test_unbounded_codecs_in_rcdf(codec):
+    """TTHRESH/BitGrooming are RMSE/precision-targeted; still round-trip."""
+    ds, data = make(codec)
+    back = RcdfDataset.from_bytes(ds.to_bytes()).get("v")
+    rmse = float(np.sqrt(((back.data.astype(np.float64) - data) ** 2).mean()))
+    assert rmse <= 1e-2, codec
+
+
+def test_mixed_codec_archive():
+    ds = RcdfDataset()
+    ds.create_dimension("y", 16)
+    ds.create_dimension("x", 16)
+    rng = np.random.default_rng(1)
+    base = np.outer(np.sin(np.arange(16) / 3), np.ones(16)).astype(np.float32)
+    for i, codec in enumerate(("cliz", "sz3", "zfp", "sperr")):
+        ds.add_variable(f"v{i}", ("y", "x"), base + np.float32(i),
+                        codec=codec, abs_eb=1e-2)
+    ds.add_variable("coords", ("x",), np.arange(16.0))
+    back = RcdfDataset.from_bytes(ds.to_bytes())
+    assert len(back.variable_names) == 5
+    for i in range(4):
+        got = back.get(f"v{i}").data
+        assert np.abs(got - (base + i)).max() <= 1e-2 + 1e-6

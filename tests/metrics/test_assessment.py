@@ -1,0 +1,107 @@
+"""Tests for the Z-checker-style quality assessment."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    QualityReport,
+    assess,
+    error_autocorrelation,
+    pearson_correlation,
+    wasserstein_distance,
+)
+
+
+class TestPearson:
+    def test_identical_is_one(self):
+        a = np.random.default_rng(0).random(100)
+        assert pearson_correlation(a, a.copy()) == pytest.approx(1.0)
+
+    def test_anticorrelated(self):
+        a = np.linspace(0, 1, 50)
+        assert pearson_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_arrays(self):
+        a = np.full(10, 3.0)
+        assert pearson_correlation(a, a.copy()) == 1.0
+        assert pearson_correlation(a, np.full(10, 4.0)) == 0.0
+
+    def test_mask_excludes_fill(self):
+        a = np.array([1.0, 2.0, 9e36])
+        b = np.array([1.0, 2.0, 0.0])
+        mask = np.array([True, True, False])
+        assert pearson_correlation(a, b, mask) == pytest.approx(1.0)
+
+
+class TestWasserstein:
+    def test_identical_zero(self):
+        a = np.random.default_rng(1).random(200)
+        assert wasserstein_distance(a, a.copy()) == 0.0
+
+    def test_shift_equals_offset(self):
+        a = np.random.default_rng(2).random(500)
+        assert wasserstein_distance(a, a + 0.5) == pytest.approx(0.5, rel=1e-6)
+
+
+class TestAutocorrelation:
+    def test_noise_error_near_zero(self):
+        rng = np.random.default_rng(3)
+        a = rng.random(5000)
+        b = a + 0.01 * rng.standard_normal(5000)
+        assert abs(error_autocorrelation(a, b)) < 0.1
+
+    def test_structured_error_detected(self):
+        a = np.zeros(1000)
+        b = a + 0.01 * np.sin(np.arange(1000) / 30.0)  # banding artifact
+        assert error_autocorrelation(a, b) > 0.9
+
+    def test_tiny_input(self):
+        assert error_autocorrelation(np.zeros(2), np.zeros(2)) == 0.0
+
+
+class TestAssess:
+    def test_full_report_on_real_compression(self):
+        from repro import SZ3
+        rng = np.random.default_rng(4)
+        y, x = np.mgrid[0:48, 0:64]
+        data = np.sin(x / 10.0) + np.cos(y / 8.0) + 0.01 * rng.standard_normal((48, 64))
+        eb = 1e-3
+        dec = SZ3().decompress(SZ3().compress(data, abs_eb=eb))
+        report = assess(data, dec)
+        assert report.max_abs_error <= eb
+        assert report.pearson > 0.99999
+        assert report.psnr > 50
+        assert report.ssim is not None and report.ssim > 0.999
+        assert report.passes(abs_eb=eb)
+
+    def test_fails_on_bad_reconstruction(self):
+        rng = np.random.default_rng(5)
+        a = rng.random((20, 20))
+        b = rng.random((20, 20))  # unrelated
+        report = assess(a, b)
+        assert not report.passes(abs_eb=0.01)
+
+    def test_1d_has_no_ssim(self):
+        a = np.arange(50.0)
+        report = assess(a, a + 1e-6)
+        assert report.ssim is None
+
+    def test_text_render(self):
+        a = np.zeros((8, 8))
+        report = assess(a, a.copy())
+        text = report.text()
+        assert "Pearson" in text and "Wasserstein" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            assess(np.zeros(3), np.zeros(4))
+
+    def test_masked_assessment_ignores_fill_regions(self):
+        a = np.ones((10, 10))
+        a[:5] = 9e36
+        b = a.copy()
+        b[5:] += 1e-4
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[5:] = True
+        report = assess(a, b, mask)
+        assert report.max_abs_error == pytest.approx(1e-4)

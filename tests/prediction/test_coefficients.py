@@ -1,0 +1,104 @@
+"""Tests for Theorem-1 coefficient tables (mask-aware fitting)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.prediction.coefficients import (
+    CUBIC_OFFSETS,
+    CUBIC_TABLE,
+    LINEAR_TABLE,
+    cubic_coefficients,
+    linear_coefficients,
+)
+
+
+def lagrange_at_zero(nodes):
+    """Lagrange basis evaluated at x=0 for the given nodes."""
+    out = []
+    for i, xi in enumerate(nodes):
+        num = 1.0
+        den = 1.0
+        for j, xj in enumerate(nodes):
+            if i == j:
+                continue
+            num *= -xj
+            den *= xi - xj
+        out.append(num / den)
+    return np.array(out)
+
+
+class TestPaperTables:
+    def test_formula_1_all_valid(self):
+        """Table I: the classic cubic stencil (-1/16, 9/16, 9/16, -1/16)."""
+        np.testing.assert_allclose(
+            CUBIC_TABLE[0b1111], [-1 / 16, 9 / 16, 9 / 16, -1 / 16]
+        )
+
+    @pytest.mark.parametrize("validity,expected", [
+        ((0, 1, 1, 1), (0, 3 / 8, 3 / 4, -1 / 8)),
+        ((1, 0, 1, 1), (1 / 8, 0, 9 / 8, -1 / 4)),
+        ((1, 1, 0, 1), (-1 / 4, 9 / 8, 0, 1 / 8)),
+        ((1, 1, 1, 0), (-1 / 8, 3 / 4, 3 / 8, 0)),
+    ])
+    def test_table_ii_three_valid(self, validity, expected):
+        """Table II: quadratic degradation with one masked reference."""
+        np.testing.assert_allclose(cubic_coefficients(np.array(validity)), expected)
+
+    def test_all_invalid_predicts_zero(self):
+        np.testing.assert_allclose(CUBIC_TABLE[0b0000], [0, 0, 0, 0])
+
+    def test_single_valid_is_constant_fit(self):
+        for i in range(4):
+            code = 1 << (3 - i)
+            coeffs = CUBIC_TABLE[code]
+            expected = np.zeros(4)
+            expected[i] = 1.0
+            np.testing.assert_allclose(coeffs, expected)
+
+
+class TestLagrangeProperty:
+    @pytest.mark.parametrize("code", range(1, 16))
+    def test_cubic_coefficients_are_lagrange_basis(self, code):
+        """Theorem 1's product formula equals polynomial interpolation at 0."""
+        validity = [(code >> (3 - j)) & 1 for j in range(4)]
+        nodes = [CUBIC_OFFSETS[j] for j in range(4) if validity[j]]
+        expected = np.zeros(4)
+        expected[np.array(validity, dtype=bool)] = lagrange_at_zero(nodes)
+        np.testing.assert_allclose(CUBIC_TABLE[code], expected, atol=1e-12)
+
+    @pytest.mark.parametrize("code", range(1, 16))
+    def test_exact_on_polynomials(self, code):
+        """Coefficients reproduce any polynomial of degree < #valid exactly."""
+        validity = np.array([(code >> (3 - j)) & 1 for j in range(4)], dtype=bool)
+        n_valid = int(validity.sum())
+        rng = np.random.default_rng(code)
+        poly = rng.normal(size=n_valid)  # degree n_valid - 1
+        vals = np.polyval(poly, CUBIC_OFFSETS.astype(float))
+        pred = float(CUBIC_TABLE[code] @ np.where(validity, vals, 0.0))
+        truth = float(np.polyval(poly, 0.0))
+        np.testing.assert_allclose(pred, truth, atol=1e-9)
+
+    def test_coefficients_sum_to_one_when_any_valid(self):
+        """Affine invariance: constant fields predict exactly."""
+        for code in range(1, 16):
+            assert abs(CUBIC_TABLE[code].sum() - 1.0) < 1e-12
+
+
+class TestLinearTable:
+    def test_both_valid_is_average(self):
+        np.testing.assert_allclose(LINEAR_TABLE[0b11], [0.5, 0.5])
+
+    def test_one_valid_copies(self):
+        np.testing.assert_allclose(LINEAR_TABLE[0b10], [1.0, 0.0])
+        np.testing.assert_allclose(LINEAR_TABLE[0b01], [0.0, 1.0])
+
+    def test_none_valid_zero(self):
+        np.testing.assert_allclose(LINEAR_TABLE[0b00], [0.0, 0.0])
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            cubic_coefficients(np.ones(3))
+        with pytest.raises(ValueError):
+            linear_coefficients(np.ones(3))

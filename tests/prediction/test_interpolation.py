@@ -1,0 +1,274 @@
+"""Tests for the multigrid interpolation engine (compress/decompress)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prediction import (
+    InterpSpec,
+    interp_compress,
+    interp_decompress,
+    interpolation_steps,
+    max_level,
+)
+
+
+def smooth_field(shape, seed=0, noise=0.0):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 3, n) for n in shape], indexing="ij")
+    out = sum(np.sin(g * (i + 1)) for i, g in enumerate(grids))
+    if noise:
+        out = out + noise * rng.standard_normal(shape)
+    return np.asarray(out, dtype=np.float64)
+
+
+def roundtrip(data, eb, spec, mask=None):
+    res = interp_compress(data, eb, spec, mask=mask)
+    dec = interp_decompress(
+        data.shape, eb, spec, res.codes, res.unpredictable,
+        mask=mask, fit_choices=res.fit_choices or None,
+    )
+    return res, dec
+
+
+class TestMaxLevel:
+    @pytest.mark.parametrize("shape,expected", [
+        ((1,), 0), ((2,), 1), ((3,), 2), ((4,), 2), ((5,), 3),
+        ((1024,), 10), ((3, 1025), 11),
+    ])
+    def test_values(self, shape, expected):
+        assert max_level(shape) == expected
+
+    def test_steps_deterministic(self):
+        s1 = list(interpolation_steps((7, 9), (0, 1)))
+        s2 = list(interpolation_steps((7, 9), (0, 1)))
+        assert s1 == s2
+        assert len(s1) == 2 * max_level((7, 9))
+
+
+class TestSpecValidation:
+    def test_bad_fitting_rejected(self):
+        with pytest.raises(ValueError):
+            InterpSpec(order=(0,), fitting="quartic")
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            InterpSpec(order=(0, 0))
+
+    def test_bad_eb_factor_rejected(self):
+        with pytest.raises(ValueError):
+            InterpSpec(order=(0,), level_eb_factors=(1.5,))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            interp_compress(np.zeros((3, 3)), 0.1, InterpSpec(order=(0,)))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("shape", [(17,), (16,), (9, 13), (8, 8), (5, 7, 11), (4, 5, 6, 7)])
+    def test_error_bound_all_dims(self, shape):
+        data = smooth_field(shape, noise=0.05)
+        eb = 1e-3
+        spec = InterpSpec(order=tuple(range(len(shape))))
+        res, dec = roundtrip(data, eb, spec)
+        assert np.abs(dec - data).max() <= eb
+        np.testing.assert_allclose(dec, res.reconstructed)
+        assert res.codes.size == data.size
+
+    def test_single_point(self):
+        data = np.array([42.0])
+        res, dec = roundtrip(data, 0.5, InterpSpec(order=(0,)))
+        assert abs(dec[0] - 42.0) <= 0.5
+
+    def test_two_points(self):
+        data = np.array([1.0, 2.0])
+        res, dec = roundtrip(data, 0.1, InterpSpec(order=(0,)))
+        assert np.abs(dec - data).max() <= 0.1
+
+    @pytest.mark.parametrize("fitting", ["linear", "cubic", "auto"])
+    def test_fittings(self, fitting):
+        data = smooth_field((21, 34), noise=0.02)
+        eb = 5e-4
+        spec = InterpSpec(order=(0, 1), fitting=fitting)
+        res, dec = roundtrip(data, eb, spec)
+        assert np.abs(dec - data).max() <= eb
+
+    def test_auto_requires_fit_choices_at_decode(self):
+        data = smooth_field((9, 9))
+        spec = InterpSpec(order=(0, 1), fitting="auto")
+        res = interp_compress(data, 0.01, spec)
+        with pytest.raises(ValueError):
+            interp_decompress(data.shape, 0.01, spec, res.codes, res.unpredictable)
+
+    @pytest.mark.parametrize("order", [(0, 1, 2), (2, 1, 0), (1, 2, 0)])
+    def test_dimension_orders(self, order):
+        data = smooth_field((6, 10, 14), noise=0.01)
+        eb = 1e-3
+        res, dec = roundtrip(data, eb, InterpSpec(order=order))
+        assert np.abs(dec - data).max() <= eb
+
+    def test_order_changes_code_stream(self):
+        """Different dimension orders genuinely change the prediction plan."""
+        data = smooth_field((8, 12, 16), noise=0.05, seed=3)
+        r1 = interp_compress(data, 1e-3, InterpSpec(order=(0, 1, 2)))
+        r2 = interp_compress(data, 1e-3, InterpSpec(order=(2, 1, 0)))
+        assert not np.array_equal(r1.codes, r2.codes)
+
+    def test_level_eb_factors_tighten_coarse_levels(self):
+        data = smooth_field((33, 33), noise=0.02)
+        eb = 1e-3
+        spec = InterpSpec(order=(0, 1), level_eb_factors=(0.25, 0.5))
+        res, dec = roundtrip(data, eb, spec)
+        assert np.abs(dec - data).max() <= eb
+
+    def test_constant_field_is_all_zero_bins(self):
+        data = np.full((16, 16), 7.25)
+        spec = InterpSpec(order=(0, 1))
+        res = interp_compress(data, 0.01, spec)
+        bins = res.codes - spec.radius
+        # rounding of the anchor can ripple ±1 bins; nothing larger, and the
+        # overwhelming majority predict exactly
+        assert np.abs(bins[1:]).max() <= 1
+        assert (bins == 0).mean() > 0.75
+
+    def test_rough_data_still_bounded(self):
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal((25, 31)) * 100
+        eb = 0.5
+        res, dec = roundtrip(data, eb, InterpSpec(order=(0, 1)))
+        assert np.abs(dec - data).max() <= eb
+
+    def test_wrong_stream_length_rejected(self):
+        data = smooth_field((9, 9))
+        spec = InterpSpec(order=(0, 1))
+        res = interp_compress(data, 0.01, spec)
+        with pytest.raises(ValueError):
+            interp_decompress(data.shape, 0.01, spec, res.codes[:-5], res.unpredictable)
+
+
+class TestMask:
+    def test_masked_roundtrip_bound_on_valid_points(self):
+        data = smooth_field((18, 22), noise=0.03)
+        mask = np.ones(data.shape, dtype=bool)
+        mask[4:9, 6:15] = False
+        data = data.copy()
+        data[~mask] = 2.0 ** 122  # CESM-style huge fill values
+        eb = 1e-3
+        spec = InterpSpec(order=(0, 1))
+        res, dec = roundtrip(data, eb, spec, mask=mask)
+        assert np.abs(dec - data)[mask].max() <= eb
+        assert (dec[~mask] == 0.0).all()
+
+    def test_stream_length_equals_valid_count(self):
+        data = smooth_field((13, 17))
+        rng = np.random.default_rng(1)
+        mask = rng.random(data.shape) > 0.4
+        res = interp_compress(data, 1e-3, InterpSpec(order=(0, 1)), mask=mask)
+        assert res.codes.size == int(mask.sum())
+
+    def test_fill_values_do_not_poison_neighbours(self):
+        """A huge fill value adjacent to valid data must not blow up bins.
+
+        Without mask-aware coefficients the 2^122 neighbour would dominate
+        every nearby prediction; with them, nearby bins stay small.
+        """
+        data = smooth_field((32, 32), noise=0.01)
+        mask = np.ones(data.shape, dtype=bool)
+        mask[:, 16:] = False
+        poisoned = data.copy()
+        poisoned[~mask] = 2.0 ** 122
+        eb = 1e-3
+        res = interp_compress(poisoned, eb, InterpSpec(order=(0, 1)), mask=mask)
+        # all valid-point bins must be finite and small-ish; none unpredictable
+        assert res.unpredictable.size <= 1  # at most the anchor
+        bins = np.abs(res.codes - 32768)
+        assert np.percentile(bins[bins < 32768], 99) < 1000
+
+    def test_anchor_masked(self):
+        data = smooth_field((9, 9))
+        mask = np.ones(data.shape, dtype=bool)
+        mask[0, 0] = False
+        eb = 1e-3
+        res, dec = roundtrip(data, eb, InterpSpec(order=(0, 1)), mask=mask)
+        assert np.abs(dec - data)[mask].max() <= eb
+        assert dec[0, 0] == 0.0
+
+    def test_sparse_mask(self):
+        data = smooth_field((15, 15))
+        mask = np.zeros(data.shape, dtype=bool)
+        mask[::4, ::3] = True
+        eb = 1e-3
+        res, dec = roundtrip(data, eb, InterpSpec(order=(0, 1)), mask=mask)
+        assert np.abs(dec - data)[mask].max() <= eb
+
+
+class TestCompressionQuality:
+    def test_smooth_data_mostly_zero_bins(self):
+        data = smooth_field((40, 60))
+        res = interp_compress(data, 1e-3, InterpSpec(order=(0, 1)))
+        bins = res.codes - 32768
+        assert (bins == 0).mean() > 0.5
+
+    def test_cubic_beats_linear_on_smooth_data(self):
+        data = smooth_field((50, 70))
+        eb = 1e-4
+        def cost(fitting):
+            res = interp_compress(data, eb, InterpSpec(order=(0, 1), fitting=fitting))
+            f = np.bincount(res.codes)
+            p = f[f > 0] / res.codes.size
+            return float(-(p * np.log2(p)).sum())
+        assert cost("cubic") < cost("linear")
+
+    def test_smooth_dim_last_is_cheaper(self):
+        """The paper's dimension-permutation claim: predict most along the
+        smoothest dimension. dim0 here is rough, dim1 smooth."""
+        rng = np.random.default_rng(0)
+        rough = rng.standard_normal(48)[:, None]
+        smooth = np.sin(np.linspace(0, 4, 256))[None, :]
+        data = rough + smooth
+        eb = 1e-3
+        def entropy(order):
+            res = interp_compress(data, eb, InterpSpec(order=order))
+            f = np.bincount(res.codes)
+            p = f[f > 0] / res.codes.size
+            return float(-(p * np.log2(p)).sum())
+        # order (0,1): dim1 (smooth) predicted most -> cheaper
+        assert entropy((0, 1)) < entropy((1, 0))
+
+
+@given(
+    st.tuples(st.integers(min_value=2, max_value=12), st.integers(min_value=2, max_value=12)),
+    st.floats(min_value=1e-5, max_value=1.0),
+    st.integers(min_value=0, max_value=2**31),
+    st.sampled_from(["linear", "cubic", "auto"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(shape, eb, seed, fitting):
+    """For arbitrary small fields, specs and bounds: decode == encode-side
+    reconstruction and the bound holds."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape) * 10
+    spec = InterpSpec(order=(0, 1), fitting=fitting)
+    res = interp_compress(data, eb, spec)
+    dec = interp_decompress(shape, eb, spec, res.codes, res.unpredictable,
+                            fit_choices=res.fit_choices or None)
+    assert np.abs(dec - data).max() <= eb
+    np.testing.assert_array_equal(dec, res.reconstructed)
+
+
+@given(st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=25, deadline=None)
+def test_masked_roundtrip_property(seed):
+    rng = np.random.default_rng(seed)
+    shape = (int(rng.integers(3, 14)), int(rng.integers(3, 14)))
+    data = rng.standard_normal(shape) * 5
+    mask = rng.random(shape) > 0.3
+    if not mask.any():
+        mask[0, 0] = True
+    eb = float(rng.uniform(1e-4, 0.5))
+    spec = InterpSpec(order=(0, 1))
+    res = interp_compress(data, eb, spec, mask=mask)
+    dec = interp_decompress(shape, eb, spec, res.codes, res.unpredictable, mask=mask)
+    assert res.codes.size == int(mask.sum())
+    assert np.abs(dec - data)[mask].max() <= eb

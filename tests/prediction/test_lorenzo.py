@@ -1,0 +1,65 @@
+"""Tests for the Lorenzo reference predictor/compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prediction import (
+    lorenzo_compress,
+    lorenzo_decompress,
+    lorenzo_prediction_errors,
+)
+
+
+class TestPredictionErrors:
+    def test_1d_is_first_difference(self):
+        data = np.array([1.0, 3.0, 6.0, 10.0])
+        np.testing.assert_allclose(lorenzo_prediction_errors(data), [2, 3, 4])
+
+    def test_2d_exact_on_bilinear(self):
+        """First-order Lorenzo reproduces any bilinear surface exactly."""
+        y, x = np.mgrid[0:10, 0:12]
+        data = 2.0 + 0.5 * x + 1.5 * y
+        np.testing.assert_allclose(lorenzo_prediction_errors(data), 0, atol=1e-12)
+
+    def test_3d_exact_on_trilinear(self):
+        z, y, x = np.mgrid[0:5, 0:6, 0:7]
+        data = 1.0 + x + 2 * y + 3 * z
+        np.testing.assert_allclose(lorenzo_prediction_errors(data), 0, atol=1e-12)
+
+    def test_shape(self):
+        assert lorenzo_prediction_errors(np.zeros((5, 7))).shape == (4, 6)
+
+
+class TestCompressor:
+    @pytest.mark.parametrize("shape", [(30,), (9, 11), (4, 5, 6)])
+    def test_roundtrip_bound(self, shape):
+        rng = np.random.default_rng(0)
+        data = np.cumsum(rng.standard_normal(shape), axis=-1)
+        eb = 0.01
+        codes, unpred, rec = lorenzo_compress(data, eb)
+        assert np.abs(rec - data).max() <= eb
+        dec = lorenzo_decompress(shape, eb, codes, unpred)
+        np.testing.assert_array_equal(dec, rec)
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            lorenzo_compress(np.zeros(300_000), 0.1)
+
+    def test_stream_length_mismatch_rejected(self):
+        codes, unpred, _ = lorenzo_compress(np.zeros((4, 4)), 0.1)
+        with pytest.raises(ValueError):
+            lorenzo_decompress((4, 5), 0.1, codes, unpred)
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.floats(min_value=1e-3, max_value=1.0))
+@settings(max_examples=20, deadline=None)
+def test_roundtrip_property(seed, eb):
+    rng = np.random.default_rng(seed)
+    shape = (int(rng.integers(2, 9)), int(rng.integers(2, 9)))
+    data = rng.standard_normal(shape) * 3
+    codes, unpred, rec = lorenzo_compress(data, eb)
+    dec = lorenzo_decompress(shape, eb, codes, unpred)
+    assert np.abs(dec - data).max() <= eb
+    np.testing.assert_array_equal(dec, rec)

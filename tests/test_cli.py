@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def field_files(tmp_path):
+    rng = np.random.default_rng(0)
+    y, x = np.mgrid[0:24, 0:30]
+    data = (np.sin(x / 6.0) + np.cos(y / 5.0) + 0.01 * rng.standard_normal((24, 30))).astype(np.float32)
+    mask = np.ones(data.shape, dtype=bool)
+    mask[:4] = False
+    data[:4] = np.float32(9.96921e36)
+    dpath = tmp_path / "data.npy"
+    mpath = tmp_path / "mask.npy"
+    np.save(dpath, data)
+    np.save(mpath, mask)
+    return dpath, mpath, data, mask
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, tmp_path, field_files, capsys):
+        dpath, mpath, data, mask = field_files
+        out = tmp_path / "data.rz"
+        back = tmp_path / "back.npy"
+        assert main(["compress", str(dpath), str(out), "--codec", "cliz",
+                     "--rel-eb", "1e-3", "--mask", str(mpath)]) == 0
+        assert "CR" in capsys.readouterr().out
+        assert main(["decompress", str(out), str(back)]) == 0
+        got = np.load(back)
+        span = data[mask].max() - data[mask].min()
+        err = np.abs(got.astype(np.float64) - data.astype(np.float64))
+        assert err[mask].max() <= 1e-3 * span + 1e-6
+
+    def test_requires_exactly_one_bound(self, tmp_path, field_files):
+        dpath, _, _, _ = field_files
+        with pytest.raises(SystemExit):
+            main(["compress", str(dpath), str(tmp_path / "x.rz")])
+        with pytest.raises(SystemExit):
+            main(["compress", str(dpath), str(tmp_path / "x.rz"),
+                  "--rel-eb", "1e-3", "--abs-eb", "0.1"])
+
+    def test_info(self, tmp_path, field_files, capsys):
+        dpath, _, _, _ = field_files
+        out = tmp_path / "d.rz"
+        main(["compress", str(dpath), str(out), "--codec", "sz3", "--abs-eb", "0.01"])
+        capsys.readouterr()
+        assert main(["info", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "sz3" in text and "sections" in text
+
+
+class TestTune:
+    def test_tune_and_save_config(self, tmp_path, field_files, capsys):
+        dpath, mpath, _, _ = field_files
+        cfg_path = tmp_path / "pipeline.json"
+        rc = main(["tune", str(dpath), "--rel-eb", "1e-3", "--mask", str(mpath),
+                   "--horiz-axes", "0,1", "--max-layouts", "2",
+                   "--sampling-rate", "0.1", "--save-config", str(cfg_path)])
+        assert rc == 0
+        assert "best" in capsys.readouterr().out
+        from repro.core import PipelineConfig
+        cfg = PipelineConfig.from_dict(json.loads(cfg_path.read_text()))
+        assert cfg.layout.ndim_in == 2
+
+
+class TestAssess:
+    def test_assess_pass_and_fail(self, tmp_path, field_files, capsys):
+        dpath, mpath, data, mask = field_files
+        good = tmp_path / "good.npy"
+        np.save(good, data)  # identical reconstruction
+        assert main(["assess", str(dpath), str(good), "--mask", str(mpath),
+                     "--abs-eb", "0.01"]) == 0
+        assert "PASS" in capsys.readouterr().out
+        bad = tmp_path / "bad.npy"
+        np.save(bad, data + np.float32(1.0))
+        assert main(["assess", str(dpath), str(bad), "--mask", str(mpath),
+                     "--abs-eb", "0.01"]) == 1
+
+
+class TestDatasetAndMisc:
+    def test_dataset_generation(self, tmp_path, capsys):
+        out = tmp_path / "hur.npy"
+        assert main(["dataset", "Hurricane-T", "--out", str(out)]) == 0
+        assert np.load(out).ndim == 3
+
+    def test_dataset_with_mask(self, tmp_path, capsys):
+        out = tmp_path / "ssh.npy"
+        mout = tmp_path / "sshm.npy"
+        assert main(["dataset", "SSH", "--out", str(out), "--mask-out", str(mout)]) == 0
+        assert np.load(mout).dtype == bool
+
+    def test_codecs_listing(self, capsys):
+        assert main(["codecs"]) == 0
+        text = capsys.readouterr().out
+        for name in ("cliz", "sz3", "zfp", "sperr", "tthresh"):
+            assert name in text
+
+    def test_unknown_experiment_lists_options(self, capsys):
+        assert main(["experiment", "fig99"]) == 1
+        assert "headline" in capsys.readouterr().out
+
+    def test_experiment_runs(self, capsys):
+        assert main(["experiment", "table3_datasets"]) == 0
+        assert "SOILLIQ" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""Cross-module integration tests: registry routing, robustness, end-to-end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import COMPRESSORS, compressor_for, decompress
+from repro.datasets import load
+from repro.encoding.container import Container
+
+BOUNDED = [name for name, cls in COMPRESSORS.items()
+           if getattr(cls, "pointwise_bound", True)]
+
+
+def field2d(seed=0, shape=(40, 48)):
+    rng = np.random.default_rng(seed)
+    y, x = np.mgrid[0:shape[0], 0:shape[1]]
+    return np.sin(x / 7.0) * np.cos(y / 5.0) + 0.005 * rng.standard_normal(shape)
+
+
+class TestRegistry:
+    def test_every_codec_roundtrips_through_dispatch(self):
+        data = field2d()
+        for name in COMPRESSORS:
+            blob = compressor_for(name).compress(data, abs_eb=1e-2)
+            assert Container.peek_codec(blob) == name
+            out = decompress(blob)
+            assert out.shape == data.shape, name
+
+    @pytest.mark.parametrize("name", BOUNDED)
+    def test_bounded_codecs_honour_bound(self, name):
+        data = field2d(seed=3)
+        eb = 5e-3
+        blob = compressor_for(name).compress(data, abs_eb=eb)
+        out = decompress(blob)
+        assert np.abs(out - data).max() <= eb + 1e-12, name
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError):
+            compressor_for("lz4")
+
+    def test_codec_names_match_registry_keys(self):
+        for name, cls in COMPRESSORS.items():
+            assert cls.codec_name == name
+
+
+class TestRobustness:
+    """Corrupted/truncated inputs must raise, never return wrong data."""
+
+    def make_blob(self, name):
+        return compressor_for(name).compress(field2d(), abs_eb=1e-2)
+
+    @pytest.mark.parametrize("name", list(COMPRESSORS))
+    def test_truncated_blob_raises(self, name):
+        blob = self.make_blob(name)
+        for frac in (0.25, 0.6, 0.95):
+            cut = blob[: int(len(blob) * frac)]
+            with pytest.raises(Exception):
+                decompress(cut)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            decompress(b"not a container at all")
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_bitflip_never_silently_wrong_shape(self, seed):
+        """A random single-byte corruption either raises or still decodes to
+        the declared shape (the container self-describes)."""
+        rng = np.random.default_rng(seed)
+        blob = bytearray(self.make_blob("sz3"))
+        pos = int(rng.integers(8, len(blob)))  # keep magic intact
+        blob[pos] ^= int(rng.integers(1, 256))
+        try:
+            out = decompress(bytes(blob))
+        except Exception:
+            return
+        assert out.shape == (40, 48)
+
+
+class TestEndToEndWorkflows:
+    def test_tune_compress_archive_assess(self, tmp_path):
+        """The full user journey across core, io and metrics."""
+        from repro import AutoTuner, CliZ
+        from repro.io import RcdfDataset, read_rcdf, write_rcdf
+        from repro.metrics import assess
+
+        fieldobj = load("SSH", shape=(24, 20, 72))
+        tuner = AutoTuner(sampling_rate=0.05, max_layouts=3,
+                          **fieldobj.tuner_kwargs())
+        tuned = tuner.tune(fieldobj.data, rel_eb=1e-3, mask=fieldobj.mask)
+        blob = CliZ(tuned.best).compress(fieldobj.data, rel_eb=1e-3,
+                                         mask=fieldobj.mask)
+        recon = decompress(blob)
+        report = assess(fieldobj.data, recon, fieldobj.mask)
+        vals = fieldobj.data[fieldobj.mask]
+        assert report.passes(abs_eb=1e-3 * float(vals.max() - vals.min()) + 1e-6)
+
+        ds = RcdfDataset()
+        for name, size in zip(("lat", "lon", "time"), fieldobj.shape):
+            ds.create_dimension(name, size)
+        ds.add_variable("ssh", ("lat", "lon", "time"), fieldobj.data,
+                        attrs={"missing_value": float(fieldobj.fill_value)},
+                        codec="cliz", rel_eb=1e-3)
+        path = tmp_path / "a.rcdf"
+        write_rcdf(path, ds)
+        assert read_rcdf(path).get("ssh").data.shape == fieldobj.shape
+
+    def test_chunked_matches_whole_under_same_bound(self):
+        from repro.parallel import compress_chunked, decompress_chunked
+        data = field2d(seed=9, shape=(60, 40))
+        eb = 1e-3
+        whole = decompress(compressor_for("sz3").compress(data, abs_eb=eb))
+        parts = decompress_chunked(compress_chunked(data, "sz3", axis=0,
+                                                    n_chunks=3, abs_eb=eb))
+        assert np.abs(whole - data).max() <= eb
+        assert np.abs(parts - data).max() <= eb

@@ -1,0 +1,114 @@
+"""Tests for chunked / parallel compression."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    compress_chunked,
+    compress_many,
+    decompress_chunked,
+    decompress_many,
+)
+
+
+def field(shape=(32, 24, 20), seed=0):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 3, n) for n in shape], indexing="ij")
+    return sum(np.sin(g) for g in grids) + 0.01 * rng.standard_normal(shape)
+
+
+class TestChunked:
+    def test_roundtrip_serial(self):
+        data = field()
+        blob = compress_chunked(data, "sz3", axis=0, n_chunks=4, abs_eb=1e-3)
+        out = decompress_chunked(blob)
+        assert np.abs(out - data).max() <= 1e-3
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_all_axes(self, axis):
+        data = field()
+        blob = compress_chunked(data, "sz3", axis=axis, n_chunks=3, abs_eb=1e-3)
+        out = decompress_chunked(blob)
+        assert out.shape == data.shape
+        assert np.abs(out - data).max() <= 1e-3
+
+    def test_chunk_bound_is_global_bound(self):
+        """abs_eb per chunk implies the same pointwise bound globally."""
+        data = field(seed=2)
+        blob = compress_chunked(data, "cliz", axis=2, n_chunks=5, abs_eb=5e-3)
+        out = decompress_chunked(blob)
+        assert np.abs(out - data).max() <= 5e-3
+
+    def test_masked_chunks(self):
+        data = field()
+        mask = np.ones(data.shape, dtype=bool)
+        mask[:, 5:10] = False
+        blob = compress_chunked(data, "cliz", axis=0, n_chunks=2,
+                                abs_eb=1e-3, mask=mask)
+        out = decompress_chunked(blob)
+        assert np.abs(out - data)[mask].max() <= 1e-3
+
+    def test_more_chunks_than_slices(self):
+        data = field((3, 10, 10))
+        blob = compress_chunked(data, "sz3", axis=0, n_chunks=8, abs_eb=1e-2)
+        out = decompress_chunked(blob)
+        assert np.abs(out - data).max() <= 1e-2
+
+    def test_parallel_workers_match_serial(self):
+        data = field(seed=3)
+        serial = compress_chunked(data, "sz3", axis=0, n_chunks=4, abs_eb=1e-3)
+        parallel = compress_chunked(data, "sz3", axis=0, n_chunks=4,
+                                    workers=2, abs_eb=1e-3)
+        assert serial == parallel  # deterministic codecs, identical chunks
+        out = decompress_chunked(parallel, workers=2)
+        assert np.abs(out - data).max() <= 1e-3
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(ValueError):
+            compress_chunked(field(), axis=5, abs_eb=1e-3)
+
+    def test_bad_n_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            compress_chunked(field(), n_chunks=0, abs_eb=1e-3)
+
+    def test_wrong_codec_tag_rejected(self):
+        from repro import SZ3
+        blob = SZ3().compress(field(), abs_eb=1e-3)
+        with pytest.raises(ValueError):
+            decompress_chunked(blob)
+
+    def test_chunking_costs_a_little_ratio(self):
+        """Predictions cannot cross chunk boundaries: mild size increase."""
+        from repro import SZ3
+        data = field((64, 20, 20), seed=4)
+        whole = len(SZ3().compress(data, abs_eb=1e-3))
+        chunked = len(compress_chunked(data, "sz3", axis=0, n_chunks=8, abs_eb=1e-3))
+        assert whole < chunked < whole * 2
+
+
+class TestMany:
+    def test_batch_roundtrip(self):
+        arrays = [field(seed=s) for s in range(4)]
+        blobs = compress_many(arrays, "sz3", abs_eb=1e-3)
+        outs = decompress_many(blobs)
+        for a, o in zip(arrays, outs):
+            assert np.abs(o - a).max() <= 1e-3
+
+    def test_batch_with_masks(self):
+        arrays = [field(seed=s) for s in range(2)]
+        masks = [np.ones(a.shape, dtype=bool) for a in arrays]
+        masks[0][0] = False
+        blobs = compress_many(arrays, "cliz", masks=masks, abs_eb=1e-3)
+        outs = decompress_many(blobs)
+        assert np.abs(outs[0] - arrays[0])[masks[0]].max() <= 1e-3
+
+    def test_mask_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            compress_many([field()], masks=[None, None], abs_eb=1e-3)
+
+    def test_parallel_batch(self):
+        arrays = [field(seed=s, shape=(16, 12, 10)) for s in range(3)]
+        blobs = compress_many(arrays, "sz3", workers=2, abs_eb=1e-2)
+        outs = decompress_many(blobs, workers=2)
+        for a, o in zip(arrays, outs):
+            assert np.abs(o - a).max() <= 1e-2
