@@ -1,0 +1,191 @@
+"""Hot-path micro-benchmarks: Huffman encode/decode, BitWriter, LZ.
+
+Measures throughput of the vectorized kernels against their scalar
+reference paths and writes the results to ``BENCH_hotpaths.json``. Run
+from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py [--smoke] [--out FILE]
+
+``--smoke`` shrinks the streams so the script doubles as a CI health
+check (a few seconds); the full run sizes match the acceptance criterion
+for the vectorized Huffman decoder: a 200k-symbol stream over a 64-entry
+alphabet with an SZ3-like skewed code distribution must decode >= 5x
+faster than the scalar loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.encoding.bitstream import BitWriter  # noqa: E402
+from repro.encoding.huffman import HuffmanCode  # noqa: E402
+from repro.encoding.lz import lz_compress, lz_decompress  # noqa: E402
+
+
+def _best(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _streams(n: int) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(0)
+    return {
+        # The acceptance stream: 64-entry alphabet, 90% zeros — the shape of
+        # SZ3/CliZ quantization codes on a well-predicted field.
+        "skewed64": np.where(rng.random(n) < 0.9, 0, rng.integers(1, 64, n)),
+        "uniform256": rng.integers(0, 256, n),
+        "gauss_codes": np.abs(np.round(rng.standard_normal(n) * 3)).astype(np.int64),
+    }
+
+
+def bench_huffman(n: int, reps: int) -> list[dict]:
+    rows = []
+    for name, symbols in _streams(n).items():
+        symbols = np.asarray(symbols, dtype=np.int64)
+        code = HuffmanCode.from_symbols(symbols)
+        writer = BitWriter()
+        code.encode(symbols, writer)
+        data = writer.getvalue()
+        nbytes = symbols.size * 8  # int64 payload
+
+        def encode():
+            w = BitWriter()
+            code.encode(symbols, w)
+            w.getvalue()
+
+        t_enc = _best(encode, reps)
+        t_dec_vec = _best(lambda: code.decode_vectorized(data, symbols.size), reps)
+        t_dec_scalar = _best(lambda: code.decode_scalar(data, symbols.size), max(1, reps // 2))
+
+        dec_v, _ = code.decode_vectorized(data, symbols.size)
+        dec_s, _ = code.decode_scalar(data, symbols.size)
+        assert np.array_equal(dec_v, symbols) and np.array_equal(dec_s, symbols)
+
+        rows.append({
+            "kernel": "huffman",
+            "stream": name,
+            "n_symbols": int(symbols.size),
+            "alphabet": int(symbols.max()) + 1,
+            "encode_ms": round(t_enc * 1e3, 3),
+            "encode_mb_s": round(nbytes / t_enc / 1e6, 1),
+            "decode_vec_ms": round(t_dec_vec * 1e3, 3),
+            "decode_vec_mb_s": round(nbytes / t_dec_vec / 1e6, 1),
+            "decode_scalar_ms": round(t_dec_scalar * 1e3, 3),
+            "decode_scalar_mb_s": round(nbytes / t_dec_scalar / 1e6, 1),
+            "decode_speedup": round(t_dec_scalar / t_dec_vec, 2),
+        })
+    return rows
+
+
+def bench_bitwriter(n: int, reps: int) -> list[dict]:
+    rng = np.random.default_rng(1)
+    lengths = np.where(rng.random(n) < 0.9, 1, rng.integers(2, 17, n)).astype(np.uint8)
+    codes = rng.integers(0, 1 << 16, n).astype(np.uint64)
+    codes &= (np.uint64(1) << lengths.astype(np.uint64)) - np.uint64(1)
+
+    def run():
+        w = BitWriter()
+        w.write_varwidth(codes, lengths)
+        w.getvalue()
+
+    t = _best(run, reps)
+    total_bits = int(lengths.sum(dtype=np.int64))
+    return [{
+        "kernel": "bitwriter.write_varwidth",
+        "stream": "skewed-lengths",
+        "n_codes": int(n),
+        "ms": round(t * 1e3, 3),
+        "mbits_s": round(total_bits / t / 1e6, 1),
+    }]
+
+
+def bench_lz(n: int, reps: int) -> list[dict]:
+    rng = np.random.default_rng(2)
+    syms = np.where(rng.random(n) < 0.9, 0, rng.integers(1, 64, n))
+    code = HuffmanCode.from_symbols(syms)
+    w = BitWriter()
+    code.encode(syms, w)
+    cases = {
+        "huffman_output": w.getvalue(),
+        "zero_runs": bytes(min(n, 4 * n // 4)),
+        "text": b"the quick brown fox jumps over the lazy dog " * max(1, n // 45),
+    }
+    rows = []
+    for name, payload in cases.items():
+        blob = lz_compress(payload)
+        assert lz_decompress(blob) == payload
+        t_c = _best(lambda: lz_compress(payload), reps)
+        t_d = _best(lambda: lz_decompress(blob), reps)
+        rows.append({
+            "kernel": "lz",
+            "stream": name,
+            "in_bytes": len(payload),
+            "out_bytes": len(blob),
+            "ratio": round(len(payload) / len(blob), 2),
+            "compress_ms": round(t_c * 1e3, 3),
+            "compress_mb_s": round(len(payload) / t_c / 1e6, 1),
+            "decompress_ms": round(t_d * 1e3, 3),
+            "decompress_mb_s": round(len(payload) / t_d / 1e6, 1),
+        })
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="tiny streams + 1 rep: a fast CI health check")
+    ap.add_argument("--out", default=None,
+                    help="output JSON path (default: BENCH_hotpaths.json next "
+                         "to this script's repository root)")
+    args = ap.parse_args(argv)
+
+    n = 20_000 if args.smoke else 200_000
+    reps = 1 if args.smoke else 5
+
+    results = {
+        "config": {"n_symbols": n, "reps": reps, "smoke": bool(args.smoke)},
+        "huffman": bench_huffman(n, reps),
+        "bitwriter": bench_bitwriter(n, reps),
+        "lz": bench_lz(n, reps),
+    }
+
+    for row in results["huffman"]:
+        print(f"huffman/{row['stream']:12s} encode {row['encode_mb_s']:8.1f} MB/s  "
+              f"decode(vec) {row['decode_vec_mb_s']:8.1f} MB/s  "
+              f"decode(scalar) {row['decode_scalar_mb_s']:8.1f} MB/s  "
+              f"speedup {row['decode_speedup']:5.2f}x")
+    for row in results["bitwriter"]:
+        print(f"{row['kernel']}: {row['mbits_s']} Mbit/s")
+    for row in results["lz"]:
+        print(f"lz/{row['stream']:16s} ratio {row['ratio']:6.2f}  "
+              f"compress {row['compress_mb_s']:7.1f} MB/s  "
+              f"decompress {row['decompress_mb_s']:7.1f} MB/s")
+
+    out_path = Path(args.out) if args.out else (
+        Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json")
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if not args.smoke:
+        skewed = next(r for r in results["huffman"] if r["stream"] == "skewed64")
+        if skewed["decode_speedup"] < 5.0:
+            print(f"WARNING: skewed64 decode speedup {skewed['decode_speedup']}x "
+                  "is below the 5x acceptance target", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,23 @@ def _eb_kwargs(args) -> dict:
 
 
 # ------------------------------------------------------------------- #
+def _maybe_profile(args) -> bool:
+    enabled = bool(getattr(args, "profile", False))
+    if enabled:
+        from repro.utils.profiling import enable_profiling
+
+        enable_profiling()
+    return enabled
+
+
+def _print_profile() -> None:
+    from repro.utils.profiling import disable_profiling, format_profile
+
+    print("\nper-stage profile:", file=sys.stderr)
+    print(format_profile(), file=sys.stderr)
+    disable_profiling()
+
+
 def cmd_compress(args) -> int:
     from repro import compressor_for
 
@@ -60,7 +77,10 @@ def cmd_compress(args) -> int:
     kwargs = _eb_kwargs(args)
     if mask is not None:
         kwargs["mask"] = mask
+    profiled = _maybe_profile(args)
     blob = comp.compress(data, **kwargs)
+    if profiled:
+        _print_profile()
     with open(args.output, "wb") as fh:
         fh.write(blob)
     ratio = data.size * 4 / len(blob)
@@ -74,7 +94,10 @@ def cmd_decompress(args) -> int:
 
     with open(args.input, "rb") as fh:
         blob = fh.read()
+    profiled = _maybe_profile(args)
     data = decompress(blob)
+    if profiled:
+        _print_profile()
     np.save(args.output, data)
     print(f"{args.input} -> {args.output}: shape {data.shape}, dtype {data.dtype}")
     return 0
@@ -190,11 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input"), p.add_argument("output")
     p.add_argument("--codec", default="cliz")
     p.add_argument("--mask", default=None, help=".npy boolean mask (True = valid)")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-stage time/bytes table to stderr")
     add_eb(p)
     p.set_defaults(func=cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a blob to .npy")
     p.add_argument("input"), p.add_argument("output")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-stage time/bytes table to stderr")
     p.set_defaults(func=cmd_decompress)
 
     p = sub.add_parser("info", help="inspect a compressed blob")

@@ -15,6 +15,7 @@ from repro.encoding.bitstream import BitWriter
 from repro.encoding.huffman import HuffmanCode
 from repro.encoding.lz import lz_compress, lz_decompress
 from repro.encoding.varint import decode_uvarint, encode_uvarint
+from repro.utils.profiling import profile_stage
 
 __all__ = [
     "encode_code_stream",
@@ -32,20 +33,23 @@ def encode_code_stream(codes: np.ndarray) -> bytes:
     payload = bytearray()
     encode_uvarint(codes.size, payload)
     if codes.size:
-        code = HuffmanCode.from_symbols(codes)
-        table = code.serialize()
-        encode_uvarint(len(table), payload)
-        payload += table
-        writer = BitWriter()
-        code.encode(codes, writer)
-        encode_uvarint(writer.bit_length, payload)
-        payload += writer.getvalue()
-    return lz_compress(bytes(payload))
+        with profile_stage("huffman.encode", nbytes=codes.size * 8):
+            code = HuffmanCode.from_symbols(codes)
+            table = code.serialize()
+            encode_uvarint(len(table), payload)
+            payload += table
+            writer = BitWriter()
+            code.encode(codes, writer)
+            encode_uvarint(writer.bit_length, payload)
+            payload += writer.getvalue()
+    with profile_stage("lz.compress", nbytes=len(payload)):
+        return lz_compress(bytes(payload))
 
 
 def decode_code_stream(blob: bytes) -> np.ndarray:
     """Inverse of :func:`encode_code_stream`."""
-    payload = lz_decompress(blob)
+    with profile_stage("lz.decompress", nbytes=len(blob)):
+        payload = lz_decompress(blob)
     n, pos = decode_uvarint(payload, 0)
     if n == 0:
         return np.zeros(0, dtype=np.int64)
@@ -53,19 +57,22 @@ def decode_code_stream(blob: bytes) -> np.ndarray:
     code, _ = HuffmanCode.deserialize(payload[pos : pos + table_len])
     pos += table_len
     bit_len, pos = decode_uvarint(payload, pos)
-    codes, _ = code.decode(payload[pos:], n)
+    with profile_stage("huffman.decode", nbytes=len(payload) - pos):
+        codes, _ = code.decode(payload[pos:], n)
     return codes
 
 
 def encode_floats(values: np.ndarray) -> bytes:
     """Serialize a float64 array losslessly (raw IEEE bytes + LZ)."""
     arr = np.asarray(values, dtype=np.float64).ravel()
-    return lz_compress(arr.tobytes())
+    with profile_stage("lz.compress", nbytes=arr.nbytes):
+        return lz_compress(arr.tobytes())
 
 
 def decode_floats(blob: bytes) -> np.ndarray:
     """Inverse of :func:`encode_floats`."""
-    raw = lz_decompress(blob)
+    with profile_stage("lz.decompress", nbytes=len(blob)):
+        raw = lz_decompress(blob)
     return np.frombuffer(raw, dtype=np.float64).copy()
 
 

@@ -42,6 +42,7 @@ from repro.prediction.interpolation import (
     interp_decompress,
     traversal_indices,
 )
+from repro.utils.profiling import profile_stage
 from repro.utils.validation import check_array, check_error_bound, check_mask, ensure_float
 
 __all__ = ["CliZ", "resolve_error_bound"]
@@ -62,6 +63,12 @@ def resolve_error_bound(data: np.ndarray, abs_eb: float | None, rel_eb: float | 
         return check_error_bound(abs_eb, name="abs_eb")
     rel = check_error_bound(rel_eb, name="rel_eb")
     vals = data[mask] if mask is not None else data
+    if vals.size == 0:
+        raise ValueError(
+            "mask excludes every point: cannot resolve a relative error bound "
+            "against an empty value range (pass abs_eb, or a mask with at "
+            "least one True entry)"
+        )
     rng = float(np.max(vals) - np.min(vals))
     if rng <= 0.0:
         return rel  # constant field: any positive bound works
@@ -113,6 +120,13 @@ class CliZ:
         points decompress to (default: the first masked value in ``data``,
         matching CESM files where invalid points carry a fill constant).
         """
+        with profile_stage("compress", nbytes=np.asarray(data).nbytes):
+            return self._compress_impl(data, abs_eb=abs_eb, rel_eb=rel_eb,
+                                       mask=mask, fill_value=fill_value)
+
+    def _compress_impl(self, data: np.ndarray, *, abs_eb: float | None,
+                       rel_eb: float | None, mask: np.ndarray | None,
+                       fill_value: float | None) -> bytes:
         arr = check_array(data)
         orig_dtype = arr.dtype
         work = ensure_float(arr)
@@ -142,7 +156,8 @@ class CliZ:
             "has_mask": bool(use_mask),
         }
         if use_mask:
-            container.add_section("mask", pack_bitmap(eff_mask))
+            with profile_stage("mask.pack"):
+                container.add_section("mask", pack_bitmap(eff_mask))
 
         # ---- periodic split ------------------------------------------- #
         period = None
@@ -186,24 +201,31 @@ class CliZ:
         lmask = apply_layout(mask, cfg.layout) if mask is not None else None
         order = tuple(range(laid.ndim))
         spec = InterpSpec(order=order, fitting=cfg.fitting)
-        res = interp_compress(laid, eb, spec, mask=lmask)
+        with profile_stage("predict+quantize", nbytes=laid.nbytes):
+            res = interp_compress(laid, eb, spec, mask=lmask)
 
         if cfg.binclass and cfg.horiz_axes is not None:
-            hgrid = apply_layout(_hpos_grid(arr.shape, cfg.horiz_axes), cfg.layout).ravel()
-            tidx = traversal_indices(laid.shape, order, lmask)
-            hpos = hgrid[tidx]
-            lat, lon = cfg.horiz_axes
-            n_hpos = arr.shape[lat] * arr.shape[lon]
-            cls, shifted, groups = classify_bins(
-                res.codes, hpos, n_hpos, spec.radius,
-                j=cfg.binclass_j, k=cfg.binclass_k, lam=cfg.binclass_lambda,
-            )
-            container.add_section(f"{name}.codes",
-                                  lz_compress(encode_grouped(shifted, groups, cls.n_groups)))
+            with profile_stage("binclass"):
+                hgrid = apply_layout(_hpos_grid(arr.shape, cfg.horiz_axes), cfg.layout).ravel()
+                tidx = traversal_indices(laid.shape, order, lmask)
+                hpos = hgrid[tidx]
+                lat, lon = cfg.horiz_axes
+                n_hpos = arr.shape[lat] * arr.shape[lon]
+                cls, shifted, groups = classify_bins(
+                    res.codes, hpos, n_hpos, spec.radius,
+                    j=cfg.binclass_j, k=cfg.binclass_k, lam=cfg.binclass_lambda,
+                )
+            with profile_stage("encode.codes"):
+                grouped = encode_grouped(shifted, groups, cls.n_groups)
+                with profile_stage("lz.compress", nbytes=len(grouped)):
+                    blob = lz_compress(grouped)
+                container.add_section(f"{name}.codes", blob)
             container.add_section(f"{name}.cls", cls.serialize())
         else:
-            container.add_section(f"{name}.codes", encode_code_stream(res.codes))
-        container.add_section(f"{name}.unpred", encode_floats(res.unpredictable))
+            with profile_stage("encode.codes"):
+                container.add_section(f"{name}.codes", encode_code_stream(res.codes))
+        with profile_stage("encode.unpred"):
+            container.add_section(f"{name}.unpred", encode_floats(res.unpredictable))
         components.append({
             "name": name,
             "eb": eb,
@@ -214,6 +236,10 @@ class CliZ:
     # ------------------------------------------------------------------ #
     def decompress(self, blob: bytes) -> np.ndarray:
         """Reconstruct the array from a CliZ container blob."""
+        with profile_stage("decompress", nbytes=len(blob)):
+            return self._decompress_impl(blob)
+
+    def _decompress_impl(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)
         if container.codec != _CODEC:
             raise ValueError(f"not a CliZ stream (codec {container.codec!r})")
@@ -222,7 +248,8 @@ class CliZ:
         shape = tuple(header["shape"])
         mask = None
         if header["has_mask"]:
-            mask = unpack_bitmap(container.section("mask"), shape=shape)
+            with profile_stage("mask.unpack"):
+                mask = unpack_bitmap(container.section("mask"), shape=shape)
 
         period = header["period"]
         parts: dict[str, np.ndarray] = {}
@@ -259,16 +286,22 @@ class CliZ:
         spec = InterpSpec(order=order, fitting=cfg.fitting)
 
         if container.has_section(f"{name}.cls"):
-            cls = BinClassification.deserialize(container.section(f"{name}.cls"))
-            hgrid = apply_layout(_hpos_grid(shape, cfg.horiz_axes), cfg.layout).ravel()
-            tidx = traversal_indices(laid_shape, order, lmask)
-            hpos = hgrid[tidx]
-            grouped_blob = lz_decompress(container.section(f"{name}.codes"))
-            groups = cls.group_map[hpos]
-            shifted, _ = decode_grouped(grouped_blob, groups)
-            codes = undo_shift(shifted, hpos, cls)
+            with profile_stage("decode.codes"):
+                cls = BinClassification.deserialize(container.section(f"{name}.cls"))
+                hgrid = apply_layout(_hpos_grid(shape, cfg.horiz_axes), cfg.layout).ravel()
+                tidx = traversal_indices(laid_shape, order, lmask)
+                hpos = hgrid[tidx]
+                section = container.section(f"{name}.codes")
+                with profile_stage("lz.decompress", nbytes=len(section)):
+                    grouped_blob = lz_decompress(section)
+                groups = cls.group_map[hpos]
+                shifted, _ = decode_grouped(grouped_blob, groups)
+                codes = undo_shift(shifted, hpos, cls)
         else:
-            codes = decode_code_stream(container.section(f"{name}.codes"))
-        unpred = decode_floats(container.section(f"{name}.unpred"))
-        laid = interp_decompress(laid_shape, eb, spec, codes, unpred, mask=lmask)
+            with profile_stage("decode.codes"):
+                codes = decode_code_stream(container.section(f"{name}.codes"))
+        with profile_stage("decode.unpred"):
+            unpred = decode_floats(container.section(f"{name}.unpred"))
+        with profile_stage("reconstruct", nbytes=codes.size * 8):
+            laid = interp_decompress(laid_shape, eb, spec, codes, unpred, mask=lmask)
         return undo_layout(laid, shape, cfg.layout)

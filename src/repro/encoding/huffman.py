@@ -12,10 +12,20 @@ Implementation highlights:
   holds, then greedily shorten where slack remains). A 16-bit ceiling lets
   the decoder use a single flat 65536-entry lookup table.
 * Encoding is fully vectorized (gather codes/lengths per symbol, one bulk
-  bit-matrix pack in :class:`~repro.encoding.bitstream.BitWriter`).
-* Decoding reads a 16-bit window per symbol from a bytes buffer — a tight
-  scalar loop with C-level ``bytes`` indexing and plain-list table lookups,
-  ~1 µs/symbol, which is the pragmatic pure-Python optimum.
+  repeat-based pack in :class:`~repro.encoding.bitstream.BitWriter`).
+* Decoding dispatches between two kernels. Small streams use a tight scalar
+  loop (16-bit window per symbol, C-level ``bytes`` indexing, plain-list
+  table lookups). Large streams use a batched NumPy kernel
+  (:meth:`HuffmanCode.decode_vectorized`): the 16-bit window at *every* bit
+  position is decoded in one vectorized pass, then many chains are walked in
+  lockstep from evenly spaced anchor bit positions. Chains started at wrong
+  positions resynchronize with the true codeword chain after a few symbols
+  (the classic Huffman self-synchronization property), so a final stitch
+  pass only has to follow the true chain at anchor granularity, copying
+  whole spans of already-decoded symbols. Equal-length codebooks skip the
+  chains entirely (codeword boundaries are known in closed form), and a
+  scalar fallback keeps pathological non-synchronizing streams correct.
+  The scalar loop is retained as the differential-testing oracle.
 * The serialized form stores only (symbol, length) pairs — sorted symbols as
   zigzag-delta varints plus 4-bit length nibbles — and both sides rebuild the
   canonical codebook deterministically.
@@ -40,6 +50,17 @@ from repro.encoding.varint import (
 __all__ = ["HuffmanCode", "MAX_CODE_LENGTH"]
 
 MAX_CODE_LENGTH = 16
+
+# Vectorized-decode tuning knobs. Streams shorter than _VECTOR_MIN_SYMBOLS
+# decode faster in the scalar loop (the NumPy kernel has ~1 ms of fixed
+# setup); anchors are spaced ~_ANCHOR_SYMS codewords apart, and every chain
+# walks _SLACK_BITS extra bits so a wrongly-started chain has room to
+# resynchronize before its span is needed.
+_VECTOR_MIN_SYMBOLS = 2048
+_ANCHOR_SYMS = 256
+_SLACK_BITS = 96
+_MAX_STEPS = 640
+_EOF_MSG = "corrupt or truncated Huffman stream"
 
 
 def _huffman_lengths(freqs: np.ndarray) -> np.ndarray:
@@ -160,6 +181,8 @@ class HuffmanCode:
         self.codes = _canonical_codes(self.lengths.astype(np.int64))
         self._decode_sym: list[int] | None = None
         self._decode_len: list[int] | None = None
+        self._decode_sym_np: np.ndarray | None = None
+        self._decode_len_np: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -205,13 +228,15 @@ class HuffmanCode:
     def _build_decode_table(self) -> None:
         size = 1 << MAX_CODE_LENGTH
         sym_t = np.zeros(size, dtype=np.int64)
-        len_t = np.zeros(size, dtype=np.int64)
+        len_t = np.zeros(size, dtype=np.int32)
         for s in np.flatnonzero(self.lengths):
             ln = int(self.lengths[s])
             start = int(self.codes[s]) << (MAX_CODE_LENGTH - ln)
             count = 1 << (MAX_CODE_LENGTH - ln)
             sym_t[start : start + count] = s
             len_t[start : start + count] = ln
+        self._decode_sym_np = sym_t
+        self._decode_len_np = len_t
         # Plain lists: element access is ~3x faster than ndarray scalar access.
         self._decode_sym = sym_t.tolist()
         self._decode_len = len_t.tolist()
@@ -219,26 +244,187 @@ class HuffmanCode:
     def decode(self, data: bytes, n_symbols: int, bit_offset: int = 0) -> tuple[np.ndarray, int]:
         """Decode ``n_symbols`` codewords from ``data`` starting at ``bit_offset``.
 
-        Returns ``(symbols, new_bit_offset)``.
+        Returns ``(symbols, new_bit_offset)``. Large streams dispatch to the
+        batched NumPy kernel (:meth:`decode_vectorized`), small ones to the
+        scalar loop (:meth:`decode_scalar`); both produce identical output.
+        """
+        if n_symbols >= _VECTOR_MIN_SYMBOLS:
+            return self.decode_vectorized(data, n_symbols, bit_offset)
+        return self.decode_scalar(data, n_symbols, bit_offset)
+
+    def decode_scalar(self, data: bytes, n_symbols: int, bit_offset: int = 0) -> tuple[np.ndarray, int]:
+        """Scalar reference decoder (one table lookup per symbol).
+
+        Kept as the differential-testing oracle for the vectorized kernel and
+        as the fast path for short streams.
         """
         if self._decode_sym is None:
             self._build_decode_table()
         sym_t = self._decode_sym
         len_t = self._decode_len
         assert sym_t is not None and len_t is not None
+        nbits = len(data) * 8
+        if n_symbols and bit_offset >= nbits:
+            raise EOFError(_EOF_MSG)
         buf = bytes(data) + b"\x00\x00\x00"
         out = [0] * n_symbols
         pos = bit_offset
-        nbits = len(data) * 8
         for i in range(n_symbols):
             byte = pos >> 3
             w = (((buf[byte] << 16) | (buf[byte + 1] << 8) | buf[byte + 2]) >> (8 - (pos & 7))) & 0xFFFF
             ln = len_t[w]
             if ln == 0 or pos + ln > nbits:
-                raise EOFError("corrupt or truncated Huffman stream")
+                raise EOFError(_EOF_MSG)
             out[i] = sym_t[w]
             pos += ln
         return np.array(out, dtype=np.int64), pos
+
+    def decode_vectorized(self, data: bytes, n_symbols: int, bit_offset: int = 0) -> tuple[np.ndarray, int]:
+        """Batched NumPy decoder (anchor chains + self-synchronization).
+
+        Phases, all vectorized except a short stitch loop:
+
+        1. decode the 16-bit window at *every* bit position of the stream in
+           one pass, yielding per-position ``(symbol, length)`` arrays;
+        2. equal-length codebooks finish immediately (codeword boundaries
+           are ``offset + k * L``);
+        3. otherwise walk one decode chain per anchor (anchors every
+           ``~_ANCHOR_SYMS`` codewords) in lockstep, recording the visited
+           bit positions — chains started mid-codeword resynchronize with
+           the true chain within a few symbols;
+        4. stitch: follow the true chain at anchor granularity, copying each
+           chain's already-decoded span; single-symbol scalar steps patch
+           the rare sync gaps, and persistent sync failure falls back to the
+           scalar loop for the remainder (correct for adversarial streams).
+        """
+        if n_symbols == 0:
+            return np.zeros(0, dtype=np.int64), bit_offset
+        if self._decode_sym_np is None:
+            self._build_decode_table()
+        sym_np = self._decode_sym_np
+        len_np = self._decode_len_np
+        assert sym_np is not None and len_np is not None
+
+        data = bytes(data)
+        nbits = len(data) * 8
+        used = self.lengths[self.lengths > 0]
+        if used.size == 0 or bit_offset >= nbits:
+            raise EOFError(_EOF_MSG)
+        min_len = int(used.min())
+        max_len_used = int(used.max())
+
+        # n symbols span at most 16n bits; never touch (or allocate) more.
+        nb = min(nbits, bit_offset + MAX_CODE_LENGTH * n_symbols)
+        pad = _MAX_STEPS * MAX_CODE_LENGTH + MAX_CODE_LENGTH
+        if nb + pad >= 2**31:  # keep int32 position arithmetic exact
+            return self.decode_scalar(data, n_symbols, bit_offset)
+        nbytes_eff = (nb + 7) // 8
+        buf = np.frombuffer(data[:nbytes_eff] + b"\x00\x00\x00", dtype=np.uint8).astype(np.int32)
+
+        def window_at(pos: np.ndarray) -> np.ndarray:
+            byte = pos >> 3
+            return (((buf[byte] << 16) | (buf[byte + 1] << 8) | buf[byte + 2])
+                    >> (8 - (pos & 7))) & 0xFFFF
+
+        # --- equal-length fast path (covers 1-symbol codebooks) --------- #
+        if min_len == max_len_used:
+            step = min_len
+            end = bit_offset + step * n_symbols
+            if end > nbits:
+                raise EOFError(_EOF_MSG)
+            pos = bit_offset + step * np.arange(n_symbols, dtype=np.int32)
+            w = window_at(pos)
+            if (len_np[w] == 0).any():
+                raise EOFError(_EOF_MSG)
+            return sym_np[w], end
+
+        # --- per-bit-position window decode ------------------------------ #
+        # The 24-bit word starting at each byte, broadcast over the 8 bit
+        # phases, yields the 16-bit decode window at every bit position
+        # without any gather.
+        w24 = (buf[:-2] << 16) | (buf[1:-1] << 8) | buf[2:]
+        shifts = np.arange(8, 0, -1, dtype=np.int32)
+        w_all = ((w24[:, None] >> shifts[None, :]) & 0xFFFF).ravel()[:nb]
+        # Padded variants: walking chains may briefly run past the stream
+        # end; invalid/pad positions advance 1 bit and flag length 0.
+        len_ext = np.zeros(nb + pad, dtype=np.int32)
+        np.take(len_np, w_all, out=len_ext[:nb])  # 0 marks an invalid prefix
+        sym_ext = np.zeros(nb + pad, dtype=np.int64)
+        np.take(sym_np, w_all, out=sym_ext[:nb])
+        len_walk = np.maximum(len_ext, 1)
+
+        # --- anchor chain walk (positions only) -------------------------- #
+        avg_len = max(min_len, min(MAX_CODE_LENGTH, (nb - bit_offset) / n_symbols))
+        gap = max(min_len, int(round(_ANCHOR_SYMS * avg_len)))
+        n_chains = max(1, -(-(nb - bit_offset) // gap))
+        anchors = (bit_offset + gap * np.arange(n_chains, dtype=np.int64)).astype(np.int32)
+        target = np.minimum(anchors + np.int32(gap + _SLACK_BITS), np.int32(nb))
+
+        pos_recs = [anchors]
+        cur = anchors
+        steps = 0
+        while True:
+            cur = cur + len_walk[cur]
+            pos_recs.append(cur)
+            steps += 1
+            if steps >= _MAX_STEPS:
+                break
+            if steps % 8 == 0 and (cur >= target).all():
+                break
+        n_steps = steps
+        pos_mat = np.ascontiguousarray(np.array(pos_recs).T)  # (n_chains, n_steps+1)
+
+        # --- stitch along the true chain --------------------------------- #
+        # Record only the codeword start positions here; symbols are
+        # gathered and the stream validated in one batched pass afterwards.
+        # Every recorded position lies on the true decode chain, so on any
+        # validation failure the scalar oracle (re-run from the start) is
+        # guaranteed to raise EOFError at the exact failing symbol.
+        pos_all = np.empty(n_symbols, dtype=np.int32)
+        count = 0
+        p = bit_offset
+        n_scalar_steps = 0
+        while count < n_symbols:
+            if p >= nb:
+                raise EOFError(_EOF_MSG)
+            k = (p - bit_offset) // gap
+            if k >= n_chains:
+                k = n_chains - 1
+            row = pos_mat[k]
+            j = int(row.searchsorted(p))
+            if j < n_steps and row[j] == p:
+                take = min(n_steps - j, n_symbols - count)
+                pos_all[count : count + take] = row[j : j + take]
+                count += take
+                p = int(row[j + take])
+            else:
+                # Sync gap: the chain covering this region has not merged
+                # with the true chain yet. Step one symbol.
+                ln_s = int(len_ext[p])
+                if ln_s == 0:
+                    return self.decode_scalar(data, n_symbols, bit_offset)
+                pos_all[count] = p
+                count += 1
+                p += ln_s
+                n_scalar_steps += 1
+                if n_scalar_steps > 4096 and n_scalar_steps * 4 > count:
+                    # Pathological stream that refuses to resynchronize:
+                    # finish with the scalar loop rather than limping along.
+                    prefix = pos_all[:count]
+                    if count and int(len_ext[prefix].min()) == 0:
+                        return self.decode_scalar(data, n_symbols, bit_offset)
+                    rest, p = self.decode_scalar(data, n_symbols - count, p)
+                    out = np.empty(n_symbols, dtype=np.int64)
+                    out[:count] = sym_ext[prefix]
+                    out[count:] = rest
+                    return out, p
+
+        ln_all = len_ext[pos_all]
+        if int(ln_all.min()) == 0 or p > nbits:
+            # Invalid window or overrun on the true chain: the oracle raises
+            # EOFError at the exact failing symbol.
+            return self.decode_scalar(data, n_symbols, bit_offset)
+        return sym_ext[pos_all], p
 
     # ------------------------------------------------------------------ #
     def serialize(self) -> bytes:

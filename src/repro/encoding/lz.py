@@ -1,22 +1,28 @@
-"""Greedy hash-chain LZ77 — the from-scratch stand-in for SZ3's Zstd stage.
+"""Greedy LZ77 — the from-scratch stand-in for SZ3's Zstd stage.
 
 The SZ3 pipeline (and therefore CliZ's) runs a general-purpose LZ coder over
 the Huffman output to squeeze residual redundancy (long zero runs, repeated
 code patterns). Any LZ-family coder fills that role; this one uses:
 
-* a single-slot 16-bit hash table over 4-byte shingles (precomputed with one
-  vectorized NumPy pass, so the Python match loop does no hashing),
-* greedy match extension, window 65535 bytes, match length 4..259,
+* an exact nearest-previous-occurrence index over 4-byte shingles, built
+  with one stable NumPy argsort (equal shingle values end up adjacent in
+  position order, so each position's predecessor is its nearest earlier
+  occurrence) — no hash table and no per-byte Python loop,
+* greedy chunked-memcmp match extension, window 65535 bytes,
 * a byte-oriented token format: control byte ``0xxxxxxx`` = literal run of
   ``x+1`` bytes (1..128) follows; ``1xxxxxxx`` = match of length ``x+4``
-  (4..131) with a 2-byte little-endian offset; lengths above 131 emit
-  repeated match tokens.
+  (4..131) with a 2-byte little-endian offset; longer matches emit a
+  batched run of repeated match tokens in one ``bytes`` multiply.
 
-``compress`` falls back to a stored block when expansion would occur, so the
-output is never more than ``len(data) + 6`` bytes.
+The compress loop iterates once per emitted match (jumping over literal
+stretches with ``bisect``), not once per input byte. ``compress`` falls back
+to a stored block when expansion would occur, so the output is never more
+than ``len(data) + 6`` bytes.
 """
 
 from __future__ import annotations
+
+from bisect import bisect_left
 
 import numpy as np
 
@@ -31,16 +37,45 @@ _MAGIC_COMPRESSED = 1
 _MAGIC_STORED = 0
 
 
-def _hashes(data: bytes) -> list[int]:
-    """16-bit multiplicative hashes of every 4-byte shingle (vectorized)."""
+def _prev_occurrence(data: bytes) -> np.ndarray:
+    """``prev[i]`` = nearest ``j < i`` with the same 4-byte shingle, else -1."""
     a = np.frombuffer(data, dtype=np.uint8).astype(np.uint32)
     v = a[:-3] | (a[1:-2] << np.uint32(8)) | (a[2:-1] << np.uint32(16)) | (a[3:] << np.uint32(24))
-    h = (v * np.uint32(2654435761)) >> np.uint32(16)
-    return h.tolist()
+    order = np.argsort(v, kind="stable")
+    sv = v[order]
+    same = sv[1:] == sv[:-1]
+    prev = np.full(v.size, -1, dtype=np.int64)
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+def _match_len(data: bytes, cand: int, i: int, maxl: int) -> int:
+    """Common-prefix length of ``data[cand:]`` vs ``data[i:]``, in ``[4, maxl]``.
+
+    Compares in doubling chunks via C-level ``bytes`` equality; overlapping
+    sources (``cand + length > i``) are fine because both sides index the
+    original buffer.
+    """
+    length = _MIN_MATCH
+    chunk = 32
+    while length < maxl:
+        step = min(chunk, maxl - length)
+        a = data[cand + length : cand + length + step]
+        b = data[i + length : i + length + step]
+        if a == b:
+            length += step
+            chunk = min(chunk * 2, 4096)
+        else:
+            k = 0
+            while a[k] == b[k]:
+                k += 1
+            return length + k
+    return maxl
 
 
 def lz_compress(data: bytes) -> bytes:
     """Compress ``data``; always decompressible by :func:`lz_decompress`."""
+    data = bytes(data)
     n = len(data)
     header = bytearray()
     if n < 16:
@@ -48,11 +83,15 @@ def lz_compress(data: bytes) -> bytes:
         encode_uvarint(n, header)
         return bytes(header) + data
     tokens = bytearray()
-    hashes = _hashes(data)
-    table = [-1] * 65536
-    i = 0
+    prev = _prev_occurrence(data)
+    in_window = (prev >= 0) & ((np.arange(prev.size, dtype=np.int64) - prev) <= _WINDOW)
+    cand_pos = np.flatnonzero(in_window)
+    cand_list = cand_pos.tolist()
+    cand_prev = prev[cand_pos].tolist()
+    nc = len(cand_list)
     lit_start = 0
-    limit = n - _MIN_MATCH + 1
+    i = 0
+    ci = 0
 
     def flush_literals(upto: int) -> None:
         s = lit_start
@@ -62,33 +101,31 @@ def lz_compress(data: bytes) -> bytes:
             tokens.extend(data[s : s + run])
             s += run
 
-    while i < limit:
-        h = hashes[i]
-        cand = table[h]
-        table[h] = i
-        if cand >= 0 and i - cand <= _WINDOW and data[cand : cand + 4] == data[i : i + 4]:
-            length = 4
-            maxl = min(n - i, _MAX_MATCH)
-            while length < maxl and data[cand + length] == data[i + length]:
-                length += 1
-            flush_literals(i)
-            tokens.append(0x80 | (length - _MIN_MATCH))
-            off = i - cand
+    while True:
+        # Jump straight to the next position with a usable candidate; the
+        # bytes skipped over are literals by construction.
+        ci = bisect_left(cand_list, i, ci)
+        if ci >= nc:
+            break
+        i = cand_list[ci]
+        cand = cand_prev[ci]
+        length = _match_len(data, cand, i, n - i)
+        flush_literals(i)
+        off = i - cand
+        q, r = divmod(length, _MAX_MATCH)
+        if q:
+            tokens += bytes((0x80 | (_MAX_MATCH - _MIN_MATCH), off & 0xFF, off >> 8)) * q
+        if r >= _MIN_MATCH:
+            tokens.append(0x80 | (r - _MIN_MATCH))
             tokens.append(off & 0xFF)
             tokens.append(off >> 8)
-            # Seed the table at a couple of positions inside the match so
-            # later occurrences of its interior still find candidates.
-            if i + 1 < limit:
-                table[hashes[i + 1]] = i + 1
-            mid = i + length // 2
-            if mid < limit:
-                table[hashes[mid]] = mid
-            i += length
-            lit_start = i
         else:
-            i += 1
+            # A sub-minimum tail stays unconsumed; the next round matches or
+            # flushes it as literals.
+            length -= r
+        i += length
+        lit_start = i
     flush_literals(n)
-    lit_start = n
 
     if len(tokens) + 10 >= n:
         header.append(_MAGIC_STORED)

@@ -16,6 +16,7 @@ import numpy as np
 from repro.encoding.bitstream import BitWriter
 from repro.encoding.huffman import HuffmanCode
 from repro.encoding.varint import decode_uvarint, encode_uvarint
+from repro.utils.profiling import profile_stage
 
 __all__ = ["encode_grouped", "decode_grouped", "grouped_cost_bits", "single_cost_bits"]
 
@@ -41,6 +42,12 @@ def encode_grouped(symbols: np.ndarray, groups: np.ndarray, n_groups: int) -> by
     out = bytearray()
     encode_uvarint(n_groups, out)
     encode_uvarint(symbols.size, out)
+    with profile_stage("multihuffman.encode", nbytes=symbols.size * 8):
+        return bytes(_encode_groups(symbols, groups, n_groups, out))
+
+
+def _encode_groups(symbols: np.ndarray, groups: np.ndarray, n_groups: int,
+                   out: bytearray) -> bytearray:
     for g in range(n_groups):
         part = symbols[groups == g]
         encode_uvarint(part.size, out)
@@ -55,7 +62,7 @@ def encode_grouped(symbols: np.ndarray, groups: np.ndarray, n_groups: int) -> by
         payload = writer.getvalue()
         encode_uvarint(writer.bit_length, out)
         out += payload
-    return bytes(out)
+    return out
 
 
 def decode_grouped(blob: bytes, groups: np.ndarray, pos: int = 0) -> tuple[np.ndarray, int]:
@@ -69,21 +76,22 @@ def decode_grouped(blob: bytes, groups: np.ndarray, pos: int = 0) -> tuple[np.nd
     if total != groups.size:
         raise ValueError(f"group map length {groups.size} does not match stream ({total})")
     out = np.zeros(total, dtype=np.int64)
-    for g in range(n_groups):
-        n_g, pos = decode_uvarint(blob, pos)
-        if n_g == 0:
-            continue
-        sel = groups == g
-        if int(sel.sum()) != n_g:
-            raise ValueError("group map inconsistent with stream counts")
-        table_len, pos = decode_uvarint(blob, pos)
-        code, _ = HuffmanCode.deserialize(blob[pos : pos + table_len])
-        pos += table_len
-        bit_len, pos = decode_uvarint(blob, pos)
-        n_bytes = (bit_len + 7) // 8
-        part, _ = code.decode(blob[pos : pos + n_bytes], n_g)
-        pos += n_bytes
-        out[sel] = part
+    with profile_stage("multihuffman.decode", nbytes=len(blob) - pos):
+        for g in range(n_groups):
+            n_g, pos = decode_uvarint(blob, pos)
+            if n_g == 0:
+                continue
+            sel = groups == g
+            if int(sel.sum()) != n_g:
+                raise ValueError("group map inconsistent with stream counts")
+            table_len, pos = decode_uvarint(blob, pos)
+            code, _ = HuffmanCode.deserialize(blob[pos : pos + table_len])
+            pos += table_len
+            bit_len, pos = decode_uvarint(blob, pos)
+            n_bytes = (bit_len + 7) // 8
+            part, _ = code.decode(blob[pos : pos + n_bytes], n_g)
+            pos += n_bytes
+            out[sel] = part
     return out, pos
 
 

@@ -46,11 +46,12 @@ def run(dataset: str = "SSH") -> ExperimentResult:
         "Points": summary["inland_points"],
     })
     fill = fieldobj.data[~fieldobj.mask]
-    result.notes.append(
-        f"invalid points carry the fill value {float(fill.flat[0]):.5g} "
-        "(paper: 'tremendous data values (e.g., 2^122)... would significantly "
-        "harm the lossy compression ratios')"
-    )
+    if fill.size:
+        result.notes.append(
+            f"invalid points carry the fill value {float(fill.flat[0]):.5g} "
+            "(paper: 'tremendous data values (e.g., 2^122)... would significantly "
+            "harm the lossy compression ratios')"
+        )
     return result
 
 

@@ -26,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 import numpy as np
 
 from repro.encoding.container import Container
+from repro.utils.profiling import profile_stage
 from repro.utils.validation import check_array, check_mask
 
 __all__ = ["compress_chunked", "decompress_chunked", "compress_many", "decompress_many"]
@@ -73,11 +74,12 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
         (codec, take(arr, sl), dict(codec_kwargs), take(mask, sl) if mask is not None else None)
         for sl in slices
     ]
-    if workers:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            blobs = list(pool.map(_compress_one, jobs))
-    else:
-        blobs = [_compress_one(job) for job in jobs]
+    with profile_stage("compress_chunked", nbytes=arr.nbytes):
+        if workers:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                blobs = list(pool.map(_compress_one, jobs))
+        else:
+            blobs = [_compress_one(job) for job in jobs]
 
     container = Container(_CODEC, {
         "inner_codec": codec,
@@ -99,11 +101,12 @@ def decompress_chunked(blob: bytes, workers: int | None = None) -> np.ndarray:
         raise ValueError(f"not a chunked stream (codec {container.codec!r})")
     header = container.header
     chunks_blobs = [container.section(f"chunk{i}") for i in range(header["n_chunks"])]
-    if workers:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunks = list(pool.map(decompress, chunks_blobs))
-    else:
-        chunks = [decompress(b) for b in chunks_blobs]
+    with profile_stage("decompress_chunked", nbytes=len(blob)):
+        if workers:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunks = list(pool.map(decompress, chunks_blobs))
+        else:
+            chunks = [decompress(b) for b in chunks_blobs]
     out = np.concatenate(chunks, axis=header["axis"])
     if list(out.shape) != header["shape"]:
         raise ValueError("chunked stream reassembled to the wrong shape")
@@ -113,18 +116,28 @@ def decompress_chunked(blob: bytes, workers: int | None = None) -> np.ndarray:
 def compress_many(arrays: list[np.ndarray], codec: str = "cliz", *,
                   workers: int | None = None, masks: list | None = None,
                   **codec_kwargs) -> list[bytes]:
-    """Compress independent arrays concurrently (one file per core)."""
+    """Compress independent arrays concurrently (one file per core).
+
+    Arrays and masks are validated up front (same checks as a direct
+    ``compress`` call), so malformed input fails fast in the caller with a
+    clear message instead of surfacing as a pickled traceback from a pool
+    worker after processes have already been spawned.
+    """
     if masks is not None and len(masks) != len(arrays):
         raise ValueError("masks must align with arrays")
-    jobs = [
-        (codec, np.asarray(a), dict(codec_kwargs),
-         None if masks is None else masks[i])
-        for i, a in enumerate(arrays)
-    ]
-    if workers:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_compress_one, jobs))
-    return [_compress_one(job) for job in jobs]
+    jobs = []
+    for i, a in enumerate(arrays):
+        try:
+            arr = check_array(a)
+            m = None if masks is None else check_mask(masks[i], arr.shape)
+        except (TypeError, ValueError) as exc:
+            raise type(exc)(f"array {i}: {exc}") from None
+        jobs.append((codec, arr, dict(codec_kwargs), m))
+    with profile_stage("compress_many"):
+        if workers:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_compress_one, jobs))
+        return [_compress_one(job) for job in jobs]
 
 
 def decompress_many(blobs: list[bytes], workers: int | None = None) -> list[np.ndarray]:

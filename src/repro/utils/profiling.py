@@ -1,0 +1,169 @@
+"""Nestable per-stage profiler for the compression pipelines.
+
+Stages are named with ``profile_stage("huffman.decode")`` context managers;
+nesting builds "/"-joined paths (``compress/quantize``,
+``compress/encode/huffman``), so a stage's time can be attributed to the
+pipeline phase that called it. The profiler is a module-global, explicitly
+enabled and disabled: when disabled (the default) ``profile_stage`` is a
+single dictionary lookup and two attribute reads per use, cheap enough to
+leave in production hot paths.
+
+Typical use::
+
+    from repro.utils.profiling import enable_profiling, profile_stage, get_profile
+
+    enable_profiling()
+    with profile_stage("compress"):
+        with profile_stage("quantize"):
+            ...
+        with profile_stage("encode", nbytes=len(blob)):
+            ...
+    for rec in get_profile():
+        print(rec.path, rec.seconds, rec.calls, rec.nbytes)
+
+``nbytes`` is an optional per-stage byte count (bytes produced or consumed,
+by the caller's convention); it accumulates across calls like the timings.
+Profiles survive across ``ProcessPoolExecutor`` boundaries only for the
+parent process — workers profile independently and their records are not
+merged.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = [
+    "StageRecord",
+    "enable_profiling",
+    "disable_profiling",
+    "profiling_enabled",
+    "reset_profile",
+    "profile_stage",
+    "add_bytes",
+    "get_profile",
+    "format_profile",
+]
+
+
+@dataclass
+class StageRecord:
+    """Aggregate for one stage path: total seconds, call count, byte count."""
+
+    path: str
+    seconds: float = 0.0
+    calls: int = 0
+    nbytes: int = 0
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+
+_enabled = False
+_stack: list[str] = []
+_records: dict[str, StageRecord] = {}
+
+
+def enable_profiling() -> None:
+    """Turn on stage collection (clears any previous profile)."""
+    global _enabled
+    _enabled = True
+    reset_profile()
+
+
+def disable_profiling() -> None:
+    """Turn off stage collection; the collected profile remains readable."""
+    global _enabled
+    _enabled = False
+    _stack.clear()
+
+
+def profiling_enabled() -> bool:
+    return _enabled
+
+
+def reset_profile() -> None:
+    """Drop all collected records (does not change enablement)."""
+    _records.clear()
+    _stack.clear()
+
+
+@contextmanager
+def profile_stage(name: str, nbytes: int | None = None) -> Iterator[None]:
+    """Time a named stage; nested stages get "/"-joined paths.
+
+    ``nbytes`` (optional) is added to the stage's byte counter — pass the
+    size of the payload the stage produced or consumed. A no-op when
+    profiling is disabled.
+    """
+    if not _enabled:
+        yield
+        return
+    path = f"{_stack[-1]}/{name}" if _stack else name
+    _stack.append(path)
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dt = time.perf_counter() - t0
+        _stack.pop()
+        rec = _records.get(path)
+        if rec is None:
+            rec = _records[path] = StageRecord(path)
+        rec.seconds += dt
+        rec.calls += 1
+        if nbytes is not None:
+            rec.nbytes += int(nbytes)
+
+
+def add_bytes(nbytes: int) -> None:
+    """Credit ``nbytes`` to the innermost active stage (no-op if none/disabled)."""
+    if not _enabled or not _stack:
+        return
+    path = _stack[-1]
+    rec = _records.get(path)
+    if rec is None:
+        rec = _records[path] = StageRecord(path)
+    rec.nbytes += int(nbytes)
+
+
+def get_profile() -> list[StageRecord]:
+    """All records collected so far, in tree order.
+
+    Each parent stage precedes its children; siblings keep first-seen
+    order. (Raw insertion order is completion order, which would list
+    children before the stage that called them.)
+    """
+    seen = {path: i for i, path in enumerate(_records)}
+
+    def key(path: str) -> tuple[int, ...]:
+        parts = path.split("/")
+        prefixes = ("/".join(parts[: i + 1]) for i in range(len(parts)))
+        return tuple(seen.get(pre, len(seen)) for pre in prefixes)
+
+    return [_records[p] for p in sorted(_records, key=key)]
+
+
+def format_profile() -> str:
+    """Render the profile as an aligned text table (one row per stage path)."""
+    records = get_profile()
+    if not records:
+        return "(no profile collected)"
+    rows = []
+    for rec in records:
+        indent = "  " * rec.depth
+        label = indent + rec.path.rsplit("/", 1)[-1]
+        mb = rec.nbytes / 1e6
+        thru = f"{mb / rec.seconds:8.1f}" if rec.seconds > 0 and rec.nbytes else "       -"
+        rows.append((label, f"{rec.seconds * 1e3:10.2f}", f"{rec.calls:6d}",
+                     f"{rec.nbytes:12d}" if rec.nbytes else "           -", thru))
+    width = max(len(r[0]) for r in rows)
+    width = max(width, len("stage"))
+    head = f"{'stage':<{width}}  {'ms':>10}  {'calls':>6}  {'bytes':>12}  {'MB/s':>8}"
+    lines = [head, "-" * len(head)]
+    for label, ms, calls, nb, thru in rows:
+        lines.append(f"{label:<{width}}  {ms}  {calls}  {nb}  {thru}")
+    return "\n".join(lines)

@@ -12,6 +12,10 @@ class Timer:
 
     A single instance can be entered multiple times; ``elapsed`` accumulates
     across uses, which is how the auto-tuner charges per-pipeline trial costs.
+    Re-entrant (nested) use is supported: only the outermost exit adds to
+    ``elapsed``, so a nested ``with t:`` block does not double-count or
+    corrupt the total. Exiting a timer that was never entered raises
+    ``RuntimeError`` instead of silently producing garbage.
 
     Example
     -------
@@ -25,16 +29,23 @@ class Timer:
     def __init__(self) -> None:
         self.elapsed = 0.0
         self._start: float | None = None
+        self._depth = 0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        if self._depth == 0:
+            self._start = time.perf_counter()
+        self._depth += 1
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
-        self.elapsed += time.perf_counter() - self._start
-        self._start = None
+        if self._depth == 0 or self._start is None:
+            raise RuntimeError("Timer.__exit__ without matching __enter__")
+        self._depth -= 1
+        if self._depth == 0:
+            self.elapsed += time.perf_counter() - self._start
+            self._start = None
 
     def reset(self) -> None:
         self.elapsed = 0.0
         self._start = None
+        self._depth = 0

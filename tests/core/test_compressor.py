@@ -42,6 +42,19 @@ class TestResolveErrorBound:
     def test_constant_field_fallback(self):
         assert resolve_error_bound(np.full(5, 3.0), None, 0.01) == pytest.approx(0.01)
 
+    def test_all_false_mask_clear_error(self):
+        # Regression: an all-False mask used to surface as an opaque NumPy
+        # "zero-size array to reduction" ValueError from np.max.
+        data = np.array([0.0, 10.0, 20.0])
+        mask = np.zeros(3, dtype=bool)
+        with pytest.raises(ValueError, match="mask excludes every point"):
+            resolve_error_bound(data, None, 0.01, mask)
+
+    def test_all_false_mask_abs_eb_unaffected(self):
+        # An absolute bound never inspects the data, so it still resolves.
+        mask = np.zeros(3, dtype=bool)
+        assert resolve_error_bound(np.zeros(3), 0.5, None, mask) == 0.5
+
 
 class TestBasicRoundtrip:
     @pytest.mark.parametrize("shape", [(64,), (20, 25), (10, 12, 14), (5, 6, 7, 8)])

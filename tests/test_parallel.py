@@ -112,3 +112,64 @@ class TestMany:
         outs = decompress_many(blobs, workers=2)
         for a, o in zip(arrays, outs):
             assert np.abs(o - a).max() <= 1e-2
+
+
+class TestManyValidation:
+    """compress_many must validate inputs before any pool is spawned."""
+
+    def test_bad_array_fails_before_pool(self, monkeypatch):
+        import repro.parallel as par
+
+        def _no_pool(*a, **k):
+            raise AssertionError("pool spawned before validation")
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", _no_pool)
+        with pytest.raises(ValueError, match="array 1"):
+            compress_many([field(shape=(8, 8)), np.zeros((0, 3))],
+                          "sz3", workers=2, abs_eb=1e-3)
+
+    def test_bad_mask_fails_before_pool(self, monkeypatch):
+        import repro.parallel as par
+
+        def _no_pool(*a, **k):
+            raise AssertionError("pool spawned before validation")
+
+        monkeypatch.setattr(par, "ProcessPoolExecutor", _no_pool)
+        arrays = [field(shape=(8, 8))]
+        with pytest.raises(ValueError, match="array 0"):
+            compress_many(arrays, "cliz", workers=2,
+                          masks=[np.ones((4, 4), dtype=bool)], abs_eb=1e-3)
+
+    def test_non_numeric_rejected_eagerly(self):
+        with pytest.raises(TypeError, match="array 0"):
+            compress_many([np.array(["a", "b"])], "sz3", abs_eb=1e-3)
+
+    def test_valid_input_still_works_serial(self):
+        arrays = [field(shape=(8, 8), seed=3)]
+        blobs = compress_many(arrays, "sz3", abs_eb=1e-3)
+        outs = decompress_many(blobs)
+        assert np.abs(outs[0] - arrays[0]).max() <= 1e-3
+
+
+class TestChunkedMaskedParallel:
+    def test_chunked_roundtrip_workers_and_mask(self):
+        data = field(shape=(24, 16, 10), seed=5)
+        mask = np.ones(data.shape, dtype=bool)
+        mask[:, :3, :] = False
+        data = data.copy()
+        data[~mask] = 9.96921e36  # CESM-style fill constant
+        blob = compress_chunked(data, "cliz", axis=0, n_chunks=3, workers=2,
+                                mask=mask, abs_eb=1e-3)
+        out = decompress_chunked(blob, workers=2)
+        assert np.abs((out - data))[mask].max() <= 1e-3
+        assert np.allclose(out[~mask], 9.96921e36)
+
+    def test_chunked_workers_match_serial_with_mask(self):
+        data = field(shape=(20, 12, 8), seed=6)
+        mask = np.ones(data.shape, dtype=bool)
+        mask[5:7] = False
+        serial = compress_chunked(data, "cliz", axis=0, n_chunks=2,
+                                  mask=mask, abs_eb=1e-3)
+        parallel = compress_chunked(data, "cliz", axis=0, n_chunks=2, workers=2,
+                                    mask=mask, abs_eb=1e-3)
+        assert serial == parallel

@@ -1,0 +1,162 @@
+"""Tests for the stage profiler and its pipeline/CLI integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import CliZ
+from repro.utils.profiling import (
+    disable_profiling,
+    enable_profiling,
+    format_profile,
+    get_profile,
+    profile_stage,
+    profiling_enabled,
+    reset_profile,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiler():
+    disable_profiling()
+    reset_profile()
+    yield
+    disable_profiling()
+    reset_profile()
+
+
+class TestProfileStage:
+    def test_disabled_is_noop(self):
+        with profile_stage("x"):
+            pass
+        assert get_profile() == []
+
+    def test_records_time_and_calls(self):
+        enable_profiling()
+        for _ in range(3):
+            with profile_stage("stage"):
+                pass
+        (rec,) = get_profile()
+        assert rec.path == "stage"
+        assert rec.calls == 3
+        assert rec.seconds >= 0.0
+
+    def test_nested_paths(self):
+        enable_profiling()
+        with profile_stage("outer"):
+            with profile_stage("inner"):
+                pass
+            with profile_stage("inner"):
+                pass
+        paths = {r.path: r for r in get_profile()}
+        assert set(paths) == {"outer", "outer/inner"}
+        assert paths["outer/inner"].calls == 2
+        assert paths["outer/inner"].depth == 1
+
+    def test_bytes_accumulate(self):
+        enable_profiling()
+        with profile_stage("s", nbytes=10):
+            pass
+        with profile_stage("s", nbytes=5):
+            pass
+        (rec,) = get_profile()
+        assert rec.nbytes == 15
+
+    def test_exception_still_recorded(self):
+        enable_profiling()
+        with pytest.raises(RuntimeError):
+            with profile_stage("boom"):
+                raise RuntimeError("x")
+        (rec,) = get_profile()
+        assert rec.path == "boom" and rec.calls == 1
+        # the stack unwound: the next stage is top-level again
+        with profile_stage("after"):
+            pass
+        assert {r.path for r in get_profile()} == {"boom", "after"}
+
+    def test_enable_clears_previous(self):
+        enable_profiling()
+        with profile_stage("a"):
+            pass
+        enable_profiling()
+        assert get_profile() == []
+        assert profiling_enabled()
+
+    def test_tree_order_parent_first(self):
+        enable_profiling()
+        with profile_stage("compress"):
+            with profile_stage("quantize"):
+                pass
+            with profile_stage("encode"):
+                with profile_stage("huffman"):
+                    pass
+        paths = [r.path for r in get_profile()]
+        assert paths == [
+            "compress",
+            "compress/quantize",
+            "compress/encode",
+            "compress/encode/huffman",
+        ]
+
+    def test_format_profile(self):
+        enable_profiling()
+        with profile_stage("compress", nbytes=1000):
+            with profile_stage("quantize"):
+                pass
+        text = format_profile()
+        lines = text.splitlines()
+        assert "stage" in lines[0] and "MB/s" in lines[0]
+        assert any("compress" in ln for ln in lines)
+        assert any("quantize" in ln for ln in lines)
+
+    def test_format_empty(self):
+        assert "no profile" in format_profile()
+
+
+class TestPipelineIntegration:
+    def test_cliz_roundtrip_produces_stages(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((16, 20)).astype(np.float64)
+        comp = CliZ()
+        enable_profiling()
+        blob = comp.compress(data, abs_eb=1e-3)
+        paths = {r.path for r in get_profile()}
+        assert "compress" in paths
+        assert "compress/predict+quantize" in paths
+        assert "compress/encode.codes" in paths
+        assert any(p.endswith("lz.compress") for p in paths)
+
+        enable_profiling()  # reset, profile the decode side
+        out = comp.decompress(blob)
+        assert np.allclose(out, data, atol=1e-3)
+        paths = {r.path for r in get_profile()}
+        assert "decompress" in paths
+        assert "decompress/decode.codes" in paths
+        assert "decompress/reconstruct" in paths
+
+    def test_disabled_costs_nothing_and_collects_nothing(self):
+        rng = np.random.default_rng(1)
+        data = rng.standard_normal((8, 8))
+        CliZ().compress(data, abs_eb=1e-3)
+        assert get_profile() == []
+
+
+class TestCLIProfileFlag:
+    def test_compress_profile_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rng = np.random.default_rng(2)
+        src = tmp_path / "a.npy"
+        dst = tmp_path / "a.rz"
+        np.save(src, rng.standard_normal((12, 12)))
+        rc = main(["compress", str(src), str(dst), "--abs-eb", "1e-3", "--profile"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "per-stage profile" in captured.err
+        assert "compress" in captured.err
+
+        out = tmp_path / "a_out.npy"
+        rc = main(["decompress", str(dst), str(out), "--profile"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "per-stage profile" in captured.err
+        assert "decompress" in captured.err

@@ -92,6 +92,30 @@ class TestTimer:
         t.reset()
         assert t.elapsed == 0.0
 
+    def test_nested_use_counts_once(self):
+        t = Timer()
+        with t:
+            with t:
+                time.sleep(0.01)
+            inner_done = t.elapsed
+            time.sleep(0.01)
+        # Nothing accumulated until the outermost exit...
+        assert inner_done == 0.0
+        # ...and the total covers the whole outer block, not double.
+        assert 0.02 <= t.elapsed < 0.5
+
+    def test_unmatched_exit_raises(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)
+
+    def test_reset_clears_nesting(self):
+        t = Timer()
+        t.__enter__()
+        t.reset()
+        with pytest.raises(RuntimeError):
+            t.__exit__(None, None, None)
+
 
 class TestFormatTable:
     def test_alignment_and_rows(self):
