@@ -142,6 +142,27 @@ def bench_lz(n: int, reps: int) -> list[dict]:
     return rows
 
 
+def write_metrics_jsonl(results: dict, path) -> int:
+    """Flatten benchmark rows into the shared metrics-JSONL schema.
+
+    Each measured quantity becomes one gauge named
+    ``bench.<kernel>.<stream>.<field>``, so ``BENCH_*.json`` trajectories
+    and live pipeline telemetry can be ingested by the same tooling
+    (``repro.obs.sinks.load_jsonl`` + ``validate_metrics_line``).
+    """
+    from repro.obs import MetricsRegistry, JsonlSink
+
+    registry = MetricsRegistry()
+    for kernel_rows in (results["huffman"], results["bitwriter"], results["lz"]):
+        for row in kernel_rows:
+            base = f"bench.{row['kernel']}.{row['stream']}"
+            for key, value in row.items():
+                if key in ("kernel", "stream") or not isinstance(value, (int, float)):
+                    continue
+                registry.gauge(f"{base}.{key}").set(value)
+    return JsonlSink(path).write(registry.records())
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--smoke", action="store_true",
@@ -149,6 +170,9 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--out", default=None,
                     help="output JSON path (default: BENCH_hotpaths.json next "
                          "to this script's repository root)")
+    ap.add_argument("--metrics-out", default=None, metavar="FILE",
+                    help="also write the measurements as metrics JSONL "
+                         "(same schema as the pipelines' --metrics-out)")
     args = ap.parse_args(argv)
 
     n = 20_000 if args.smoke else 200_000
@@ -177,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
         Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json")
     out_path.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out_path}")
+
+    if args.metrics_out:
+        n = write_metrics_jsonl(results, args.metrics_out)
+        print(f"wrote {n} metric lines -> {args.metrics_out}")
 
     if not args.smoke:
         skewed = next(r for r in results["huffman"] if r["stream"] == "skewed64")

@@ -25,6 +25,7 @@ from repro.core.codec import (
 )
 from repro.core.compressor import resolve_error_bound
 from repro.encoding.container import Container
+from repro.obs import traced_compress, traced_decompress
 from repro.prediction.interpolation import (
     InterpSpec,
     interp_compress,
@@ -89,6 +90,7 @@ class QoZ:
                 best_score, best_ab = score, (alpha, beta)
         return best_ab
 
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None) -> bytes:
         arr = check_array(data)
@@ -113,6 +115,7 @@ class QoZ:
         container.add_section("fits", encode_bits(res.fit_choices))
         return container.to_bytes()
 
+    @traced_decompress
     def decompress(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)
         if container.codec != self.codec_name:

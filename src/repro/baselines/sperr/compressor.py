@@ -26,6 +26,7 @@ from repro.encoding.varint import (
     encode_uvarint,
     encode_uvarint_array,
 )
+from repro.obs import traced_compress, traced_decompress
 from repro.utils.validation import check_array, check_mask, ensure_float
 
 __all__ = ["SPERR"]
@@ -41,6 +42,7 @@ class SPERR:
     codec_name = "sperr"
 
     # ------------------------------------------------------------------ #
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None) -> bytes:
         arr = check_array(data)
@@ -89,6 +91,7 @@ class SPERR:
         return container.to_bytes()
 
     # ------------------------------------------------------------------ #
+    @traced_decompress
     def decompress(self, blob: bytes, *, preview_planes: int | None = None) -> np.ndarray:
         """Full reconstruction, or an embedded *preview*.
 

@@ -30,6 +30,7 @@ from repro.core.codec import (
 )
 from repro.core.compressor import resolve_error_bound
 from repro.encoding.container import Container
+from repro.obs import traced_compress, traced_decompress
 from repro.quantization.linear import DEFAULT_RADIUS, UNPREDICTABLE, LinearQuantizer
 from repro.utils.validation import check_array, check_mask, ensure_float
 
@@ -106,6 +107,7 @@ class SZ2:
         self.radius = radius
 
     # ------------------------------------------------------------------ #
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None) -> bytes:
         arr = check_array(data)
@@ -137,6 +139,7 @@ class SZ2:
         container.add_section("unpred", encode_floats(unpred))
         return container.to_bytes()
 
+    @traced_decompress
     def decompress(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)
         if container.codec != self.codec_name:

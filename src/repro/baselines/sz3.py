@@ -28,6 +28,7 @@ from repro.core.codec import (
 )
 from repro.core.compressor import resolve_error_bound
 from repro.encoding.container import Container
+from repro.obs import traced_compress, traced_decompress
 from repro.prediction.interpolation import InterpSpec, interp_compress, interp_decompress
 from repro.utils.validation import check_array, check_mask, ensure_float
 
@@ -56,6 +57,7 @@ class SZ3:
                           level_eb_factors=level_eb_factors)
 
     # ------------------------------------------------------------------ #
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None) -> bytes:
         arr = check_array(data)
@@ -77,6 +79,7 @@ class SZ3:
             container.add_section("fits", encode_bits(res.fit_choices))
         return container.to_bytes()
 
+    @traced_decompress
     def decompress(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)
         if container.codec != self.codec_name:

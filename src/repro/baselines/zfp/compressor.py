@@ -34,6 +34,7 @@ from repro.baselines.zfp.transform import (
 from repro.core.compressor import resolve_error_bound
 from repro.encoding.bitstream import BitReader, BitWriter
 from repro.encoding.container import Container
+from repro.obs import traced_compress, traced_decompress
 from repro.utils.validation import check_array, check_mask, ensure_float
 
 __all__ = ["ZFP"]
@@ -53,6 +54,7 @@ class ZFP:
     codec_name = "zfp"
 
     # ------------------------------------------------------------------ #
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None) -> bytes:
         arr = check_array(data, max_ndim=4)
@@ -123,6 +125,7 @@ class ZFP:
         return container.to_bytes()
 
     # ------------------------------------------------------------------ #
+    @traced_decompress
     def decompress(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)
         if container.codec != self.codec_name:

@@ -51,21 +51,38 @@ def _eb_kwargs(args) -> dict:
 
 
 # ------------------------------------------------------------------- #
-def _maybe_profile(args) -> bool:
-    enabled = bool(getattr(args, "profile", False))
-    if enabled:
-        from repro.utils.profiling import enable_profiling
+def _obs_begin(args):
+    """Start an observability run if --profile / any telemetry sink is set."""
+    wanted = (getattr(args, "profile", False) or getattr(args, "trace_out", None)
+              or getattr(args, "metrics_out", None) or getattr(args, "chrome_out", None))
+    if not wanted:
+        return None
+    from repro import obs
 
-        enable_profiling()
-    return enabled
+    return obs.start_run(tags={"command": args.command})
 
 
-def _print_profile() -> None:
-    from repro.utils.profiling import disable_profiling, format_profile
+def _obs_end(args, run) -> None:
+    """Print the profile and export the requested telemetry files."""
+    if run is None:
+        return
+    from repro import obs
+    from repro.utils.profiling import format_profile
 
-    print("\nper-stage profile:", file=sys.stderr)
-    print(format_profile(), file=sys.stderr)
-    disable_profiling()
+    obs.end_run()
+    if getattr(args, "profile", False):
+        print("\nper-stage profile:", file=sys.stderr)
+        print(format_profile(), file=sys.stderr)
+    if getattr(args, "trace_out", None):
+        n = obs.write_trace_jsonl(run, args.trace_out)
+        print(f"trace    : {n} spans -> {args.trace_out}", file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        n = obs.write_metrics_jsonl(run, args.metrics_out)
+        print(f"metrics  : {n} series -> {args.metrics_out}", file=sys.stderr)
+    if getattr(args, "chrome_out", None):
+        obs.write_chrome_trace(run, args.chrome_out)
+        print(f"chrome   : trace -> {args.chrome_out} "
+              "(open in chrome://tracing or ui.perfetto.dev)", file=sys.stderr)
 
 
 def cmd_compress(args) -> int:
@@ -77,10 +94,9 @@ def cmd_compress(args) -> int:
     kwargs = _eb_kwargs(args)
     if mask is not None:
         kwargs["mask"] = mask
-    profiled = _maybe_profile(args)
+    run = _obs_begin(args)
     blob = comp.compress(data, **kwargs)
-    if profiled:
-        _print_profile()
+    _obs_end(args, run)
     with open(args.output, "wb") as fh:
         fh.write(blob)
     ratio = data.size * 4 / len(blob)
@@ -94,10 +110,9 @@ def cmd_decompress(args) -> int:
 
     with open(args.input, "rb") as fh:
         blob = fh.read()
-    profiled = _maybe_profile(args)
+    run = _obs_begin(args)
     data = decompress(blob)
-    if profiled:
-        _print_profile()
+    _obs_end(args, run)
     np.save(args.output, data)
     print(f"{args.input} -> {args.output}: shape {data.shape}, dtype {data.dtype}")
     return 0
@@ -183,7 +198,9 @@ def cmd_experiment(args) -> int:
             print(f"  {name:26s} {desc}")
         return 1
     module = importlib.import_module(f"repro.experiments.{args.name}")
+    run = _obs_begin(args)
     module.run().print()
+    _obs_end(args, run)
     return 0
 
 
@@ -209,19 +226,28 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--abs-eb", type=float, default=None,
                        help="absolute pointwise error bound")
 
+    def add_obs(p):
+        p.add_argument("--profile", action="store_true",
+                       help="print a per-stage time/bytes table to stderr")
+        p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write trace spans as JSONL (one span per line)")
+        p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the metrics snapshot as JSONL (one metric per line)")
+        p.add_argument("--chrome-out", default=None, metavar="FILE",
+                       help="write a Chrome-trace JSON file "
+                            "(chrome://tracing / ui.perfetto.dev)")
+
     p = sub.add_parser("compress", help="compress a .npy array")
     p.add_argument("input"), p.add_argument("output")
     p.add_argument("--codec", default="cliz")
     p.add_argument("--mask", default=None, help=".npy boolean mask (True = valid)")
-    p.add_argument("--profile", action="store_true",
-                   help="print a per-stage time/bytes table to stderr")
+    add_obs(p)
     add_eb(p)
     p.set_defaults(func=cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a blob to .npy")
     p.add_argument("input"), p.add_argument("output")
-    p.add_argument("--profile", action="store_true",
-                   help="print a per-stage time/bytes table to stderr")
+    add_obs(p)
     p.set_defaults(func=cmd_decompress)
 
     p = sub.add_parser("info", help="inspect a compressed blob")
@@ -254,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiment", help="run a paper experiment harness")
     p.add_argument("name")
+    add_obs(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("codecs", help="list registered codecs")

@@ -15,7 +15,7 @@ from repro.encoding.bitstream import BitWriter
 from repro.encoding.huffman import HuffmanCode
 from repro.encoding.lz import lz_compress, lz_decompress
 from repro.encoding.varint import decode_uvarint, encode_uvarint
-from repro.utils.profiling import profile_stage
+from repro.obs import span as profile_stage
 
 __all__ = [
     "encode_code_stream",

@@ -42,7 +42,7 @@ from repro.prediction.interpolation import (
     interp_decompress,
     traversal_indices,
 )
-from repro.utils.profiling import profile_stage
+from repro.obs import inc_counter, set_gauge, span as profile_stage, traced_compress, traced_decompress
 from repro.utils.validation import check_array, check_error_bound, check_mask, ensure_float
 
 __all__ = ["CliZ", "resolve_error_bound"]
@@ -111,6 +111,7 @@ class CliZ:
         self.config = config
 
     # ------------------------------------------------------------------ #
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None,
                  fill_value: float | None = None) -> bytes:
@@ -120,9 +121,8 @@ class CliZ:
         points decompress to (default: the first masked value in ``data``,
         matching CESM files where invalid points carry a fill constant).
         """
-        with profile_stage("compress", nbytes=np.asarray(data).nbytes):
-            return self._compress_impl(data, abs_eb=abs_eb, rel_eb=rel_eb,
-                                       mask=mask, fill_value=fill_value)
+        return self._compress_impl(data, abs_eb=abs_eb, rel_eb=rel_eb,
+                                   mask=mask, fill_value=fill_value)
 
     def _compress_impl(self, data: np.ndarray, *, abs_eb: float | None,
                        rel_eb: float | None, mask: np.ndarray | None,
@@ -201,8 +201,16 @@ class CliZ:
         lmask = apply_layout(mask, cfg.layout) if mask is not None else None
         order = tuple(range(laid.ndim))
         spec = InterpSpec(order=order, fitting=cfg.fitting)
-        with profile_stage("predict+quantize", nbytes=laid.nbytes):
+        with profile_stage("predict+quantize", nbytes=laid.nbytes, component=name):
             res = interp_compress(laid, eb, spec, mask=lmask)
+        if res.codes.size:
+            set_gauge(f"cliz.quantize.hit_rate.{name}",
+                      1.0 - res.unpredictable.size / res.codes.size)
+        if res.fit_choices:
+            for fit in res.fit_choices:
+                inc_counter("cliz.predictor.cubic" if fit else "cliz.predictor.linear")
+        else:
+            inc_counter(f"cliz.predictor.{cfg.fitting}")
 
         if cfg.binclass and cfg.horiz_axes is not None:
             with profile_stage("binclass"):
@@ -234,10 +242,10 @@ class CliZ:
         })
 
     # ------------------------------------------------------------------ #
+    @traced_decompress
     def decompress(self, blob: bytes) -> np.ndarray:
         """Reconstruct the array from a CliZ container blob."""
-        with profile_stage("decompress", nbytes=len(blob)):
-            return self._decompress_impl(blob)
+        return self._decompress_impl(blob)
 
     def _decompress_impl(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)

@@ -16,7 +16,7 @@ import numpy as np
 from repro.encoding.bitstream import BitWriter
 from repro.encoding.huffman import HuffmanCode
 from repro.encoding.varint import decode_uvarint, encode_uvarint
-from repro.utils.profiling import profile_stage
+from repro.obs import inc_counter, observe, span as profile_stage
 
 __all__ = ["encode_grouped", "decode_grouped", "grouped_cost_bits", "single_cost_bits"]
 
@@ -42,8 +42,13 @@ def encode_grouped(symbols: np.ndarray, groups: np.ndarray, n_groups: int) -> by
     out = bytearray()
     encode_uvarint(n_groups, out)
     encode_uvarint(symbols.size, out)
+    inc_counter("multihuffman.encode.calls")
+    observe("multihuffman.n_groups", n_groups, buckets=[1, 2, 4, 8, 16, 32])
     with profile_stage("multihuffman.encode", nbytes=symbols.size * 8):
-        return bytes(_encode_groups(symbols, groups, n_groups, out))
+        blob = bytes(_encode_groups(symbols, groups, n_groups, out))
+    if symbols.size:
+        observe("multihuffman.bits_per_symbol", len(blob) * 8.0 / symbols.size)
+    return blob
 
 
 def _encode_groups(symbols: np.ndarray, groups: np.ndarray, n_groups: int,

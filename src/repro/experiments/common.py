@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import CliZ, QoZ, SPERR, SZ3, ZFP, AutoTuner
+from repro import CliZ, QoZ, SPERR, SZ3, ZFP, AutoTuner, obs
 from repro.datasets import ClimateField
 from repro.metrics import RatePoint, bit_rate, compression_ratio, psnr, ssim
 
@@ -107,8 +107,10 @@ def measure_point(compressor, fieldobj: ClimateField, abs_eb: float,
     kwargs = {"abs_eb": abs_eb}
     if pass_mask and mask is not None:
         kwargs["mask"] = mask
-    blob = compressor.compress(data, **kwargs)
-    dec = compressor.decompress(blob)
+    codec = getattr(compressor, "codec_name", type(compressor).__name__.lower())
+    with obs.span("measure_point", codec=codec, dataset=fieldobj.name, eb=abs_eb):
+        blob = compressor.compress(data, **kwargs)
+        dec = compressor.decompress(blob)
     # SSIM is a 2D perceptual metric: evaluate it on horizontal slices by
     # rotating the (lat, lon) axes to the end.
     x = data.astype(np.float64)
@@ -127,4 +129,9 @@ def measure_point(compressor, fieldobj: ClimateField, abs_eb: float,
         psnr=psnr(data, dec, mask),
         ssim=ssim(x, y, mask=m) if data.ndim >= 2 else 1.0,
     )
+    if obs.get_run() is not None:
+        obs.observe(f"experiment.{codec}.compression_ratio", point.compression_ratio)
+        if np.isfinite(point.psnr):
+            obs.observe(f"experiment.{codec}.psnr", point.psnr,
+                        buckets=[20, 40, 60, 80, 100, 120, 150, 200])
     return point, blob

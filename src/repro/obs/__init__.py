@@ -1,0 +1,78 @@
+"""repro.obs — run-scoped observability: trace spans, metrics, sinks.
+
+See ``docs/OBSERVABILITY.md`` for the span model, metric names, and sink
+formats. The package is dependency-free and safe to import from any layer;
+with no active run every hook is a near-free no-op.
+"""
+
+from repro.obs.instrument import (
+    record_codec_metrics,
+    traced_compress,
+    traced_decompress,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+)
+from repro.obs.sinks import (
+    JsonlSink,
+    MemorySink,
+    load_jsonl,
+    validate_metrics_line,
+    validate_trace_line,
+    write_chrome_trace,
+    write_metrics_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.trace import (
+    Run,
+    Span,
+    add_bytes,
+    current_span,
+    end_run,
+    get_run,
+    inc_counter,
+    last_run,
+    observe,
+    run,
+    set_gauge,
+    set_tag,
+    span,
+    start_run,
+)
+
+__all__ = [
+    "Span",
+    "Run",
+    "start_run",
+    "end_run",
+    "get_run",
+    "last_run",
+    "run",
+    "span",
+    "current_span",
+    "add_bytes",
+    "set_tag",
+    "inc_counter",
+    "set_gauge",
+    "observe",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "JsonlSink",
+    "MemorySink",
+    "load_jsonl",
+    "validate_trace_line",
+    "validate_metrics_line",
+    "write_trace_jsonl",
+    "write_metrics_jsonl",
+    "write_chrome_trace",
+    "traced_compress",
+    "traced_decompress",
+    "record_codec_metrics",
+]

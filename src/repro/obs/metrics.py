@@ -1,0 +1,187 @@
+"""Metrics registry: counters, gauges, histograms with a snapshot/merge API.
+
+The registry is deliberately tiny and dependency-free — Prometheus
+semantics (monotonic counters, last-write gauges, fixed-bucket cumulative
+histograms) without the wire format. Pipelines record compression ratio,
+quantizer hit-rate, bits/value, predictor selections, WAN queue depths and
+link utilization; ``snapshot()`` renders everything as plain dicts that
+serialize to the same JSONL schema the benchmarks emit, and ``merge()``
+folds a worker's snapshot into the parent registry (counters and histogram
+buckets add; gauges keep the merged-in value, i.e. last writer wins).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "DEFAULT_BUCKETS",
+]
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> list[float]:
+    """``count`` ascending bucket edges: start, start*factor, ..."""
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("need start > 0, factor > 1, count >= 1")
+    return [start * factor ** i for i in range(count)]
+
+
+#: Generic default edges spanning ratio-like and size-like observations.
+DEFAULT_BUCKETS = exponential_buckets(0.001, 4.0, 16)  # 1e-3 .. ~1e6
+
+
+class Counter:
+    """Monotonic counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, value: int = 1) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        self.value += value
+
+    def to_record(self) -> dict:
+        return {"type": "counter", "name": self.name, "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def to_record(self) -> dict:
+        return {"type": "gauge", "name": self.name, "value": self.value}
+
+
+class Histogram:
+    """Fixed-edge histogram with count/sum/min/max.
+
+    ``buckets`` are ascending upper edges; observations land in the first
+    bucket whose edge is >= the value (edge values inclusive, matching
+    Prometheus ``le`` semantics), with one overflow bucket past the last
+    edge — ``counts`` has ``len(buckets) + 1`` entries.
+    """
+
+    def __init__(self, name: str, buckets: list[float] | None = None) -> None:
+        edges = list(buckets) if buckets else list(DEFAULT_BUCKETS)
+        if sorted(edges) != edges or len(set(edges)) != len(edges):
+            raise ValueError("bucket edges must be strictly ascending")
+        self.name = name
+        self.buckets = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        # bisect_left finds the first edge >= value (edges inclusive, "le").
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+    def to_record(self) -> dict:
+        return {
+            "type": "histogram",
+            "name": self.name,
+            "buckets": self.buckets,
+            "counts": self.counts,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments, created on first use, snapshot as dicts."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls, *args):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, *args)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, buckets: list[float] | None = None) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> dict[str, dict]:
+        """All metrics as ``{name: record}`` plain dicts (JSON-ready)."""
+        with self._lock:
+            return {name: m.to_record() for name, m in sorted(self._metrics.items())}
+
+    def records(self) -> list[dict]:
+        """Snapshot as a list of JSONL-ready lines."""
+        return list(self.snapshot().values())
+
+    def merge(self, snapshot: dict[str, dict]) -> None:
+        """Fold a ``snapshot()`` (e.g. from a pool worker) into this registry.
+
+        Counters and histogram buckets add; gauges take the merged value;
+        a histogram merge requires identical bucket edges.
+        """
+        for name, rec in snapshot.items():
+            kind = rec["type"]
+            if kind == "counter":
+                self.counter(name).inc(int(rec["value"]))
+            elif kind == "gauge":
+                if rec["value"] is not None:
+                    self.gauge(name).set(rec["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, rec["buckets"])
+                if hist.buckets != list(rec["buckets"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket edges differ; cannot merge"
+                    )
+                for i, c in enumerate(rec["counts"]):
+                    hist.counts[i] += int(c)
+                hist.count += int(rec["count"])
+                hist.sum += float(rec["sum"])
+                for attr, fold in (("min", min), ("max", max)):
+                    other = rec.get(attr)
+                    if other is not None:
+                        ours = getattr(hist, attr)
+                        setattr(hist, attr, other if ours is None else fold(ours, other))
+            else:
+                raise ValueError(f"unknown metric type {kind!r} for {name!r}")

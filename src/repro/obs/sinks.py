@@ -1,0 +1,176 @@
+"""Telemetry sinks: JSONL files, an in-memory sink for tests, Chrome trace.
+
+Two JSONL line schemas, shared by live pipeline telemetry and the
+benchmark trajectories:
+
+* **trace lines** — one span per line, ``type: "span"`` with ``run``,
+  ``id``, ``parent``, ``name``, ``path``, ``ts`` (epoch seconds), ``dur``
+  (seconds), ``pid``, ``tid``, ``nbytes``, ``tags``, ``status``;
+* **metrics lines** — one metric per line, ``type`` is ``counter`` /
+  ``gauge`` / ``histogram`` with ``name`` + ``value`` (counter, gauge) or
+  ``buckets``/``counts``/``count``/``sum``/``min``/``max`` (histogram).
+
+``validate_trace_line`` / ``validate_metrics_line`` raise ``ValueError``
+with the failing key, so tests and CI can assert schema validity without a
+JSON-schema dependency. The Chrome-trace export is the ``traceEvents``
+JSON-array format understood by ``chrome://tracing`` and Perfetto.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.trace import Run
+
+__all__ = [
+    "JsonlSink",
+    "MemorySink",
+    "write_trace_jsonl",
+    "write_metrics_jsonl",
+    "write_chrome_trace",
+    "chrome_trace_events",
+    "load_jsonl",
+    "validate_trace_line",
+    "validate_metrics_line",
+]
+
+
+class JsonlSink:
+    """Append JSON records, one per line, to a file."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+
+    def write(self, records: Iterable[dict]) -> int:
+        n = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as fh:
+            for rec in records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+                n += 1
+        return n
+
+
+class MemorySink:
+    """Collect records in a list (tests, notebooks)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def write(self, records: Iterable[dict]) -> int:
+        records = list(records)
+        self.records.extend(records)
+        return len(records)
+
+
+# ---------------------------------------------------------------------- #
+def write_trace_jsonl(run: "Run", path) -> int:
+    """One span per line; returns the number of lines written."""
+    return JsonlSink(path).write(run.span_records())
+
+
+def write_metrics_jsonl(run: "Run", path) -> int:
+    """One metric per line; returns the number of lines written."""
+    return JsonlSink(path).write(run.metrics.records())
+
+
+def chrome_trace_events(run: "Run") -> list[dict]:
+    """The run's spans as Chrome-trace complete events (``ph: "X"``)."""
+    events = [{
+        "name": "run", "ph": "M", "cat": "__metadata",
+        "pid": 0, "tid": 0, "args": {"run_id": run.run_id, **run.tags},
+    }]
+    for sp in run.spans():
+        events.append({
+            "name": sp.name,
+            "cat": sp.path.split("/", 1)[0],
+            "ph": "X",
+            "ts": (sp.t_wall - run.t0_wall) * 1e6,  # microseconds
+            "dur": sp.dur * 1e6,
+            "pid": sp.pid,
+            "tid": sp.tid,
+            "args": {"path": sp.path, "nbytes": sp.nbytes,
+                     "status": sp.status, **sp.tags},
+        })
+    return events
+
+
+def write_chrome_trace(run: "Run", path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"traceEvents": chrome_trace_events(run)}))
+
+
+# ---------------------------------------------------------------------- #
+def load_jsonl(path) -> list[dict]:
+    """Parse a JSONL file into a list of dicts (blank lines ignored)."""
+    out = []
+    for i, line in enumerate(Path(path).read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i}: invalid JSON: {exc}") from None
+        if not isinstance(rec, dict):
+            raise ValueError(f"{path}:{i}: expected an object, got {type(rec).__name__}")
+        out.append(rec)
+    return out
+
+
+def _require(rec: dict, key: str, types, ctx: str) -> None:
+    if key not in rec:
+        raise ValueError(f"{ctx}: missing key {key!r}")
+    if not isinstance(rec[key], types):
+        raise ValueError(f"{ctx}: key {key!r} has type {type(rec[key]).__name__}")
+
+
+def validate_trace_line(rec: dict) -> None:
+    """Raise ``ValueError`` unless ``rec`` is a schema-valid span line."""
+    ctx = f"span line {rec.get('id')!r}"
+    _require(rec, "type", str, ctx)
+    if rec["type"] != "span":
+        raise ValueError(f"{ctx}: type is {rec['type']!r}, expected 'span'")
+    for key, types in (("run", str), ("id", str), ("name", str), ("path", str),
+                       ("ts", (int, float)), ("dur", (int, float)),
+                       ("pid", int), ("tid", int), ("nbytes", int),
+                       ("tags", dict), ("status", str)):
+        _require(rec, key, types, ctx)
+    if rec.get("parent") is not None and not isinstance(rec["parent"], str):
+        raise ValueError(f"{ctx}: 'parent' must be a span id or null")
+    if rec["dur"] < 0:
+        raise ValueError(f"{ctx}: negative duration")
+    if rec["status"] not in ("ok", "error"):
+        raise ValueError(f"{ctx}: unknown status {rec['status']!r}")
+    if not (rec["path"] == rec["name"] or rec["path"].endswith("/" + rec["name"])):
+        raise ValueError(f"{ctx}: path {rec['path']!r} does not end in the span name")
+
+
+def validate_metrics_line(rec: dict) -> None:
+    """Raise ``ValueError`` unless ``rec`` is a schema-valid metric line."""
+    ctx = f"metric line {rec.get('name')!r}"
+    _require(rec, "type", str, ctx)
+    _require(rec, "name", str, ctx)
+    kind = rec["type"]
+    if kind == "counter":
+        _require(rec, "value", int, ctx)
+        if rec["value"] < 0:
+            raise ValueError(f"{ctx}: negative counter")
+    elif kind == "gauge":
+        if rec.get("value") is not None and not isinstance(rec["value"], (int, float)):
+            raise ValueError(f"{ctx}: gauge value must be numeric or null")
+    elif kind == "histogram":
+        for key, types in (("buckets", list), ("counts", list), ("count", int),
+                           ("sum", (int, float))):
+            _require(rec, key, types, ctx)
+        if len(rec["counts"]) != len(rec["buckets"]) + 1:
+            raise ValueError(f"{ctx}: counts must have len(buckets)+1 entries")
+        if sorted(rec["buckets"]) != rec["buckets"]:
+            raise ValueError(f"{ctx}: bucket edges must be ascending")
+        if sum(rec["counts"]) != rec["count"]:
+            raise ValueError(f"{ctx}: counts do not sum to count")
+    else:
+        raise ValueError(f"{ctx}: unknown metric type {kind!r}")

@@ -17,6 +17,12 @@ Workers are plain processes (``concurrent.futures``): NumPy releases the
 GIL for large kernels, but the Python-level coding stages do not, so
 processes are the profitable unit — with chunks sized so the fork+pickle
 overhead stays negligible, per the HPC-Python guidance.
+
+When an observability run is active in the dispatching process
+(``repro.obs`` / ``enable_profiling()``), each pool worker collects spans
+and metrics into a local run and ships them back alongside its result;
+the parent stitches them under the dispatching span, so profiles and
+traces see through the process boundary.
 """
 
 from __future__ import annotations
@@ -25,8 +31,8 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import obs
 from repro.encoding.container import Container
-from repro.utils.profiling import profile_stage
 from repro.utils.validation import check_array, check_mask
 
 __all__ = ["compress_chunked", "decompress_chunked", "compress_many", "decompress_many"]
@@ -42,6 +48,36 @@ def _compress_one(args) -> bytes:
     if mask is not None:
         return comp.compress(arr, mask=mask, **kwargs)
     return comp.compress(arr, **kwargs)
+
+
+def _compress_one_traced(args) -> tuple[bytes, list[dict], dict]:
+    """Pool-worker entry: compress under a local run, ship telemetry back."""
+    with obs.run(tags={"role": "worker"}) as run:
+        with obs.span("worker", codec=args[0]):
+            blob = _compress_one(args)
+    return blob, run.span_records(), run.metrics.snapshot()
+
+
+def _decompress_one_traced(blob: bytes) -> tuple[np.ndarray, list[dict], dict]:
+    from repro import decompress
+
+    with obs.run(tags={"role": "worker"}) as run:
+        with obs.span("worker"):
+            out = decompress(blob)
+    return out, run.span_records(), run.metrics.snapshot()
+
+
+def _pool_map(traced_fn, plain_fn, jobs, workers, dispatch_span):
+    """Map jobs on a process pool, absorbing worker telemetry if collecting."""
+    run = obs.get_run()
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        if run is None:
+            return list(pool.map(plain_fn, jobs))
+        results = []
+        for out, spans, metrics in pool.map(traced_fn, jobs):
+            run.absorb(spans, metrics, reparent_to=dispatch_span)
+            results.append(out)
+        return results
 
 
 def _chunk_slices(n: int, n_chunks: int) -> list[slice]:
@@ -74,10 +110,11 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
         (codec, take(arr, sl), dict(codec_kwargs), take(mask, sl) if mask is not None else None)
         for sl in slices
     ]
-    with profile_stage("compress_chunked", nbytes=arr.nbytes):
+    with obs.span("compress_chunked", nbytes=arr.nbytes, codec=codec,
+                  n_chunks=len(jobs), workers=workers or 0) as dispatch:
         if workers:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                blobs = list(pool.map(_compress_one, jobs))
+            blobs = _pool_map(_compress_one_traced, _compress_one,
+                              jobs, workers, dispatch)
         else:
             blobs = [_compress_one(job) for job in jobs]
 
@@ -101,10 +138,11 @@ def decompress_chunked(blob: bytes, workers: int | None = None) -> np.ndarray:
         raise ValueError(f"not a chunked stream (codec {container.codec!r})")
     header = container.header
     chunks_blobs = [container.section(f"chunk{i}") for i in range(header["n_chunks"])]
-    with profile_stage("decompress_chunked", nbytes=len(blob)):
+    with obs.span("decompress_chunked", nbytes=len(blob),
+                  workers=workers or 0) as dispatch:
         if workers:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                chunks = list(pool.map(decompress, chunks_blobs))
+            chunks = _pool_map(_decompress_one_traced, decompress,
+                               chunks_blobs, workers, dispatch)
         else:
             chunks = [decompress(b) for b in chunks_blobs]
     out = np.concatenate(chunks, axis=header["axis"])
@@ -133,10 +171,11 @@ def compress_many(arrays: list[np.ndarray], codec: str = "cliz", *,
         except (TypeError, ValueError) as exc:
             raise type(exc)(f"array {i}: {exc}") from None
         jobs.append((codec, arr, dict(codec_kwargs), m))
-    with profile_stage("compress_many"):
+    with obs.span("compress_many", codec=codec, n_arrays=len(jobs),
+                  workers=workers or 0) as dispatch:
         if workers:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_compress_one, jobs))
+            return _pool_map(_compress_one_traced, _compress_one,
+                             jobs, workers, dispatch)
         return [_compress_one(job) for job in jobs]
 
 
@@ -144,7 +183,9 @@ def decompress_many(blobs: list[bytes], workers: int | None = None) -> list[np.n
     """Inverse of :func:`compress_many`."""
     from repro import decompress
 
-    if workers:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(decompress, blobs))
-    return [decompress(b) for b in blobs]
+    with obs.span("decompress_many", n_blobs=len(blobs),
+                  workers=workers or 0) as dispatch:
+        if workers:
+            return _pool_map(_decompress_one_traced, decompress,
+                             blobs, workers, dispatch)
+        return [decompress(b) for b in blobs]

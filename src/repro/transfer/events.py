@@ -20,6 +20,9 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
+from repro.transfer.network import QUEUE_DEPTH_BUCKETS
+
 __all__ = ["EventQueue", "SharedResource", "simulate_shared_link"]
 
 
@@ -47,10 +50,16 @@ class EventQueue:
 
     def run(self, until: float = np.inf) -> float:
         """Process events in order until the queue drains (or ``until``)."""
-        while self._heap and self._heap[0].time <= until:
-            event = heapq.heappop(self._heap)
-            self.now = event.time
-            event.action()
+        with obs.span("des.run") as sp:
+            n_events = 0
+            while self._heap and self._heap[0].time <= until:
+                event = heapq.heappop(self._heap)
+                self.now = event.time
+                event.action()
+                n_events += 1
+            if sp is not None:
+                sp.tags["n_events"] = n_events
+                sp.tags["t_end"] = self.now
         return self.now
 
     @property
@@ -73,6 +82,7 @@ class SharedResource:
         self.queue = queue
         self.capacity = capacity
         self.on_done = on_done
+        self.busy_time = 0.0  # simulated seconds with >= 1 active job
         self._remaining: dict[int, float] = {}
         self._last_update = 0.0
         self._plan_token = 0
@@ -83,6 +93,9 @@ class SharedResource:
             raise ValueError(f"job {job_id} already active")
         self._advance()
         self._remaining[job_id] = float(size)
+        if obs.get_run() is not None:
+            obs.observe("wan.queue_depth", len(self._remaining),
+                        buckets=QUEUE_DEPTH_BUCKETS)
         self._replan()
 
     def _advance(self) -> None:
@@ -92,6 +105,7 @@ class SharedResource:
             rate = self.capacity / len(self._remaining)
             elapsed = now - self._last_update
             if elapsed > 0:
+                self.busy_time += elapsed
                 for job in self._remaining:
                     self._remaining[job] -= rate * elapsed
         self._last_update = now
@@ -135,7 +149,13 @@ def simulate_shared_link(arrivals: np.ndarray, sizes: np.ndarray,
         done[job] = time
 
     link = SharedResource(queue, bandwidth, record)
-    for i, (t, s) in enumerate(zip(arrivals, sizes)):
-        queue.schedule(float(t), lambda i=i, s=s: link.submit(i, float(s)))
-    queue.run()
+    with obs.span("des.simulate_shared_link", n_flows=int(arrivals.size),
+                  bandwidth=bandwidth):
+        for i, (t, s) in enumerate(zip(arrivals, sizes)):
+            queue.schedule(float(t), lambda i=i, s=s: link.submit(i, float(s)))
+        queue.run()
+    if obs.get_run() is not None and arrivals.size:
+        span_t = float(done.max() - arrivals.min())
+        obs.set_gauge("wan.link_utilization",
+                      link.busy_time / span_t if span_t > 0 else 1.0)
     return done

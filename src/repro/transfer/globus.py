@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.transfer.network import WanLink, fair_share_completions
+
+#: Per-file simulated-time spans are emitted only below this file count,
+#: keeping traces of large sweeps bounded.
+_MAX_TIMELINE_SPANS = 4096
 
 __all__ = ["ThroughputModel", "PAPER_SPEEDS", "TransferResult", "simulate_globus"]
 
@@ -64,6 +69,30 @@ class TransferResult:
                 f"bytes={self.total_compressed_bytes}")
 
 
+def _emit_timeline(dispatch, codec: str, arrivals: np.ndarray,
+                   completions: np.ndarray, sizes: np.ndarray,
+                   per_file_compress: float, n_cores: int) -> None:
+    """Emit *simulated-time* spans for each compress and transfer interval.
+
+    Spans land on the run timeline at ``run.t0_wall + simulated seconds``
+    with one Chrome-trace lane per core (compress) plus a rotating set of
+    WAN lanes (transfer), so compute/transfer overlap is visible in
+    Perfetto next to the real wall-clock spans.
+    """
+    run = obs.get_run()
+    if run is None or arrivals.size > _MAX_TIMELINE_SPANS:
+        return
+    for i in range(arrivals.size):
+        core = i % n_cores
+        run.record_span("compress.sim", t_start=float(arrivals[i]) - per_file_compress,
+                        dur=per_file_compress, parent=dispatch,
+                        tid=1000 + core, codec=codec, file=i, lane=f"core{core}")
+        run.record_span("transfer.sim", t_start=float(arrivals[i]),
+                        dur=float(completions[i] - arrivals[i]), parent=dispatch,
+                        tid=2000 + i % 64, nbytes=int(sizes[i]),
+                        codec=codec, file=i, lane="wan")
+
+
 def simulate_globus(codec: str, *, n_cores: int, uncompressed_bytes: int,
                     compressed_bytes: list[int] | np.ndarray,
                     link: WanLink,
@@ -90,10 +119,19 @@ def simulate_globus(codec: str, *, n_cores: int, uncompressed_bytes: int,
     for i in range(n_files):
         position_on_core = i // n_cores  # how many files this core did before
         arrivals[i] = (position_on_core + 1) * per_file_compress
-    completions = fair_share_completions(arrivals, sizes, link)
+    with obs.span("transfer.simulate", codec=codec, n_cores=n_cores,
+                  n_files=n_files) as dispatch:
+        completions = fair_share_completions(arrivals, sizes, link)
+        _emit_timeline(dispatch, codec, arrivals, completions, sizes,
+                       per_file_compress, n_cores)
 
     compress_time = float(arrivals.max())
     total_time = float(completions.max())
+    run = obs.get_run()
+    if run is not None:
+        obs.set_gauge(f"transfer.{codec}.compress_time", compress_time)
+        obs.set_gauge(f"transfer.{codec}.total_time", total_time)
+        obs.inc_counter("transfer.files", n_files)
     return TransferResult(
         codec=codec,
         n_cores=n_cores,

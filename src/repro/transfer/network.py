@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["WanLink", "fair_share_completions"]
+
+#: Queue-depth histogram edges (flows in flight on the shared link).
+QUEUE_DEPTH_BUCKETS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096]
 
 
 @dataclass(frozen=True)
@@ -46,6 +51,15 @@ def fair_share_completions(arrivals: np.ndarray, sizes: np.ndarray,
     done = np.zeros(n)
     if n == 0:
         return done
+    with obs.span("wan.fair_share", n_flows=int(n), bandwidth=link.bandwidth):
+        return _fair_share_loop(arrivals, sizes, link, done)
+
+
+def _fair_share_loop(arrivals: np.ndarray, sizes: np.ndarray, link: WanLink,
+                     done: np.ndarray) -> np.ndarray:
+    n = arrivals.size
+    collecting = obs.get_run() is not None
+    busy_time = 0.0
     remaining = sizes.copy()
     # Completion tolerance is *relative* to the flow size: with many equal
     # flows finishing together, float cancellation can leave O(size * eps)
@@ -68,6 +82,9 @@ def fair_share_completions(arrivals: np.ndarray, sizes: np.ndarray,
         t_arrive = float(arrivals[order[next_idx]]) if next_idx < n else np.inf
         t_next = min(t_finish, t_arrive)
         elapsed = t_next - t
+        if collecting:
+            obs.observe("wan.queue_depth", len(active), buckets=QUEUE_DEPTH_BUCKETS)
+            busy_time += elapsed
         completed = 0
         for i in list(active):
             remaining[i] -= rate * elapsed
@@ -81,4 +98,9 @@ def fair_share_completions(arrivals: np.ndarray, sizes: np.ndarray,
             done[i] = t_next
             active.remove(i)
         t = t_next
+    if collecting:
+        span_t = float(done.max() - arrivals.min())
+        obs.set_gauge("wan.link_utilization",
+                      busy_time / span_t if span_t > 0 else 1.0)
+        obs.inc_counter("wan.bytes_sent", int(sizes.sum()))
     return done

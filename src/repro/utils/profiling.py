@@ -1,14 +1,16 @@
-"""Nestable per-stage profiler for the compression pipelines.
+"""Per-stage profiler — a thin aggregation shim over ``repro.obs`` spans.
 
-Stages are named with ``profile_stage("huffman.decode")`` context managers;
-nesting builds "/"-joined paths (``compress/quantize``,
-``compress/encode/huffman``), so a stage's time can be attributed to the
-pipeline phase that called it. The profiler is a module-global, explicitly
-enabled and disabled: when disabled (the default) ``profile_stage`` is a
-single dictionary lookup and two attribute reads per use, cheap enough to
-leave in production hot paths.
+Historically this module kept its own module-global ``_stack``/``_records``,
+which interleaved corruptly when two threads profiled concurrently and
+lost worker records across ``ProcessPoolExecutor`` boundaries. It is now a
+view over the run-scoped tracer: ``profile_stage`` *is* ``repro.obs.span``
+(contextvar-based, so every thread sees its own ancestry), and
+``get_profile()`` aggregates the active run's finished spans by
+"/"-joined path into the same :class:`StageRecord` rows as before. Worker
+spans merged back by ``repro.parallel`` show up here automatically,
+nested under the dispatching stage.
 
-Typical use::
+Typical use (unchanged)::
 
     from repro.utils.profiling import enable_profiling, profile_stage, get_profile
 
@@ -21,19 +23,17 @@ Typical use::
     for rec in get_profile():
         print(rec.path, rec.seconds, rec.calls, rec.nbytes)
 
-``nbytes`` is an optional per-stage byte count (bytes produced or consumed,
-by the caller's convention); it accumulates across calls like the timings.
-Profiles survive across ``ProcessPoolExecutor`` boundaries only for the
-parent process — workers profile independently and their records are not
-merged.
+For run ids, tags, metrics, and JSONL / Chrome-trace export, use
+``repro.obs`` directly — ``enable_profiling()`` is just
+``obs.start_run()`` plus these aggregation helpers.
 """
 
 from __future__ import annotations
 
-import time
-from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+
+from repro.obs import trace as _trace
+from repro.obs.trace import add_bytes, span as profile_stage  # noqa: F401  (re-export)
 
 __all__ = [
     "StageRecord",
@@ -62,89 +62,53 @@ class StageRecord:
         return self.path.count("/")
 
 
-_enabled = False
-_stack: list[str] = []
-_records: dict[str, StageRecord] = {}
-
-
 def enable_profiling() -> None:
     """Turn on stage collection (clears any previous profile)."""
-    global _enabled
-    _enabled = True
-    reset_profile()
+    _trace.start_run(tags={"source": "profiling"})
 
 
 def disable_profiling() -> None:
     """Turn off stage collection; the collected profile remains readable."""
-    global _enabled
-    _enabled = False
-    _stack.clear()
+    _trace.end_run()
 
 
 def profiling_enabled() -> bool:
-    return _enabled
+    return _trace.get_run() is not None
 
 
 def reset_profile() -> None:
     """Drop all collected records (does not change enablement)."""
-    _records.clear()
-    _stack.clear()
-
-
-@contextmanager
-def profile_stage(name: str, nbytes: int | None = None) -> Iterator[None]:
-    """Time a named stage; nested stages get "/"-joined paths.
-
-    ``nbytes`` (optional) is added to the stage's byte counter — pass the
-    size of the payload the stage produced or consumed. A no-op when
-    profiling is disabled.
-    """
-    if not _enabled:
-        yield
-        return
-    path = f"{_stack[-1]}/{name}" if _stack else name
-    _stack.append(path)
-    t0 = time.perf_counter()
-    try:
-        yield
-    finally:
-        dt = time.perf_counter() - t0
-        _stack.pop()
-        rec = _records.get(path)
-        if rec is None:
-            rec = _records[path] = StageRecord(path)
-        rec.seconds += dt
-        rec.calls += 1
-        if nbytes is not None:
-            rec.nbytes += int(nbytes)
-
-
-def add_bytes(nbytes: int) -> None:
-    """Credit ``nbytes`` to the innermost active stage (no-op if none/disabled)."""
-    if not _enabled or not _stack:
-        return
-    path = _stack[-1]
-    rec = _records.get(path)
-    if rec is None:
-        rec = _records[path] = StageRecord(path)
-    rec.nbytes += int(nbytes)
+    run = _trace.last_run()
+    if run is not None:
+        run.clear()
 
 
 def get_profile() -> list[StageRecord]:
     """All records collected so far, in tree order.
 
     Each parent stage precedes its children; siblings keep first-seen
-    order. (Raw insertion order is completion order, which would list
+    order. (Spans finish child-first, so raw span order would list
     children before the stage that called them.)
     """
-    seen = {path: i for i, path in enumerate(_records)}
+    run = _trace.last_run()
+    if run is None:
+        return []
+    records: dict[str, StageRecord] = {}
+    for sp in run.spans():
+        rec = records.get(sp.path)
+        if rec is None:
+            rec = records[sp.path] = StageRecord(sp.path)
+        rec.seconds += sp.dur
+        rec.calls += 1
+        rec.nbytes += sp.nbytes
+    seen = {path: i for i, path in enumerate(records)}
 
     def key(path: str) -> tuple[int, ...]:
         parts = path.split("/")
         prefixes = ("/".join(parts[: i + 1]) for i in range(len(parts)))
         return tuple(seen.get(pre, len(seen)) for pre in prefixes)
 
-    return [_records[p] for p in sorted(_records, key=key)]
+    return [records[p] for p in sorted(records, key=key)]
 
 
 def format_profile() -> str:
@@ -156,8 +120,14 @@ def format_profile() -> str:
     for rec in records:
         indent = "  " * rec.depth
         label = indent + rec.path.rsplit("/", 1)[-1]
-        mb = rec.nbytes / 1e6
-        thru = f"{mb / rec.seconds:8.1f}" if rec.seconds > 0 and rec.nbytes else "       -"
+        # Zero-duration stages are real rows (0.00 ms); only the throughput
+        # column degrades, and the division is guarded explicitly.
+        if not rec.nbytes:
+            thru = "       -"
+        elif rec.seconds > 0:
+            thru = f"{rec.nbytes / 1e6 / rec.seconds:8.1f}"
+        else:
+            thru = "     inf"
         rows.append((label, f"{rec.seconds * 1e3:10.2f}", f"{rec.calls:6d}",
                      f"{rec.nbytes:12d}" if rec.nbytes else "           -", thru))
     width = max(len(r[0]) for r in rows)

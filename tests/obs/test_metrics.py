@@ -1,0 +1,122 @@
+"""Tests for the metrics registry: instruments, bucket edges, merge."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, exponential_buckets
+from repro.obs.sinks import validate_metrics_line
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        reg.gauge("g").set(2.5)
+        assert reg.gauge("g").value == 2.5
+
+    def test_unset_is_none(self):
+        assert MetricsRegistry().gauge("g").value is None
+
+
+class TestHistogramBuckets:
+    def test_edge_values_inclusive(self):
+        """Values exactly on an edge land in that edge's bucket (le semantics)."""
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[1.0, 2.0, 4.0])
+        for v in (0.5, 1.0, 1.5, 2.0, 4.0, 4.0001):
+            h.observe(v)
+        # 0.5 and 1.0 -> le 1.0; 1.5, 2.0 -> le 2.0; 4.0 -> le 4.0; rest overflow
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.min == 0.5 and h.max == 4.0001
+        assert h.sum == pytest.approx(0.5 + 1.0 + 1.5 + 2.0 + 4.0 + 4.0001)
+
+    def test_below_first_edge(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[10.0])
+        h.observe(-100.0)
+        assert h.counts == [1, 0]
+
+    def test_overflow_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[1.0])
+        h.observe(1e9)
+        assert h.counts == [0, 1]
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=[2.0, 1.0])
+
+    def test_duplicate_edges_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=[1.0, 1.0])
+
+    def test_mean(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", buckets=[10.0])
+        assert h.mean is None
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+
+    def test_exponential_buckets(self):
+        assert exponential_buckets(1.0, 2.0, 4) == [1.0, 2.0, 4.0, 8.0]
+        with pytest.raises(ValueError):
+            exponential_buckets(0.0, 2.0, 4)
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_snapshot_records_validate(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("b").set(1.25)
+        reg.histogram("c", buckets=[1.0, 2.0]).observe(1.5)
+        for rec in reg.records():
+            validate_metrics_line(rec)
+        snap = reg.snapshot()
+        assert set(snap) == {"a", "b", "c"}
+
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.histogram("h", buckets=[1.0, 2.0]).observe(0.5)
+        b.histogram("h", buckets=[1.0, 2.0]).observe(1.5)
+        b.gauge("g").set(7.0)
+        a.merge(b.snapshot())
+        assert a.counter("n").value == 5
+        h = a.histogram("h")
+        assert h.counts == [1, 1, 0]
+        assert h.count == 2
+        assert h.min == 0.5 and h.max == 1.5
+        assert a.gauge("g").value == 7.0
+
+    def test_merge_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=[1.0])
+        b.histogram("h", buckets=[2.0]).observe(0.5)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_merge_into_empty_registry(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.histogram("h", buckets=[1.0]).observe(0.5)
+        a.merge(b.snapshot())
+        assert a.histogram("h").count == 1

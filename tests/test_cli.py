@@ -55,6 +55,55 @@ class TestCompressDecompress:
         assert "sz3" in text and "sections" in text
 
 
+class TestTelemetryFlags:
+    def test_compress_writes_trace_metrics_chrome(self, tmp_path, field_files, capsys):
+        from repro.obs.sinks import load_jsonl, validate_metrics_line, validate_trace_line
+
+        dpath, _, _, _ = field_files
+        out = tmp_path / "d.rz"
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        chrome = tmp_path / "chrome.json"
+        assert main(["compress", str(dpath), str(out), "--codec", "cliz",
+                     "--abs-eb", "1e-3",
+                     "--trace-out", str(trace),
+                     "--metrics-out", str(metrics),
+                     "--chrome-out", str(chrome)]) == 0
+        err = capsys.readouterr().err
+        assert str(trace) in err and str(metrics) in err
+
+        trace_recs = load_jsonl(trace)
+        assert trace_recs
+        for rec in trace_recs:
+            validate_trace_line(rec)
+        assert any(r["name"] == "compress" for r in trace_recs)
+
+        metric_recs = load_jsonl(metrics)
+        assert metric_recs
+        for rec in metric_recs:
+            validate_metrics_line(rec)
+        names = {r["name"] for r in metric_recs}
+        assert "cliz.compression_ratio" in names
+
+        doc = json.loads(chrome.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_decompress_trace_out(self, tmp_path, field_files):
+        from repro.obs.sinks import load_jsonl, validate_trace_line
+
+        dpath, _, _, _ = field_files
+        out = tmp_path / "d.rz"
+        back = tmp_path / "back.npy"
+        trace = tmp_path / "dec.jsonl"
+        main(["compress", str(dpath), str(out), "--codec", "cliz", "--abs-eb", "1e-3"])
+        assert main(["decompress", str(out), str(back),
+                     "--trace-out", str(trace)]) == 0
+        recs = load_jsonl(trace)
+        for rec in recs:
+            validate_trace_line(rec)
+        assert any(r["name"] == "decompress" for r in recs)
+
+
 class TestTune:
     def test_tune_and_save_config(self, tmp_path, field_files, capsys):
         dpath, mpath, _, _ = field_files

@@ -151,6 +151,63 @@ class TestManyValidation:
         assert np.abs(outs[0] - arrays[0]).max() <= 1e-3
 
 
+class TestTelemetryMerge:
+    """Workers ship spans/metrics back; the parent stitches them under dispatch."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_obs(self):
+        from repro import obs
+        obs.end_run()
+        yield
+        obs.end_run()
+
+    def test_worker_spans_merge_under_dispatch(self):
+        from repro import obs
+
+        arrays = [field(seed=s, shape=(16, 12, 10)) for s in range(3)]
+        with obs.run() as run:
+            compress_many(arrays, "sz3", workers=2, abs_eb=1e-2)
+        spans = run.spans()
+        dispatch = next(s for s in spans if s.name == "compress_many")
+        workers = [s for s in spans if s.parent_id == dispatch.span_id]
+        assert len(workers) == 3  # one worker-root span per array
+        for w in workers:
+            assert w.tags.get("worker_run")
+            assert w.path.startswith("compress_many/")
+        # every absorbed span carries the parent's run id but the worker's pid
+        assert {s.run_id for s in spans} == {run.run_id}
+        assert any(s.pid != dispatch.pid for s in workers)
+        # nested codec stages survive the merge with stitched paths
+        assert any(s.path == f"{w.path}/compress" for w in workers for s in spans)
+
+    def test_worker_metrics_merge_into_parent(self):
+        from repro import obs
+
+        arrays = [field(seed=s, shape=(16, 12, 10)) for s in range(2)]
+        with obs.run() as run:
+            compress_many(arrays, "sz3", workers=2, abs_eb=1e-2)
+        snap = run.metrics.snapshot()
+        assert snap["sz3.compress.calls"]["value"] == 2
+        assert snap["sz3.compression_ratio"]["count"] == 2
+
+    def test_serial_path_records_in_parent_directly(self):
+        from repro import obs
+
+        arrays = [field(seed=0, shape=(16, 12, 10))]
+        with obs.run() as run:
+            compress_many(arrays, "sz3", abs_eb=1e-2)
+        spans = run.spans()
+        assert all(s.pid == spans[0].pid for s in spans)
+        assert any(s.path == "compress_many/compress" for s in spans)
+
+    def test_no_run_means_no_telemetry_overhead(self):
+        from repro import obs
+
+        arrays = [field(seed=0, shape=(16, 12, 10))]
+        compress_many(arrays, "sz3", workers=2, abs_eb=1e-2)
+        assert obs.get_run() is None
+
+
 class TestChunkedMaskedParallel:
     def test_chunked_roundtrip_workers_and_mask(self):
         data = field(shape=(24, 16, 10), seed=5)

@@ -111,6 +111,57 @@ class TestProfileStage:
     def test_format_empty(self):
         assert "no profile" in format_profile()
 
+    def test_format_zero_duration_with_bytes(self):
+        """A 0-duration stage with bytes must not crash on the MB/s column."""
+        from repro.obs import get_run
+
+        enable_profiling()
+        run = get_run()
+        run.record_span("instant", t_start=0.0, dur=0.0, nbytes=1024)
+        text = format_profile()
+        line = next(ln for ln in text.splitlines() if "instant" in ln)
+        assert "inf" in line
+        assert "1024" in line
+
+    def test_format_zero_bytes_shows_dash(self):
+        enable_profiling()
+        with profile_stage("empty"):
+            pass
+        line = next(ln for ln in format_profile().splitlines() if "empty" in ln)
+        assert line.rstrip().endswith("-")
+
+
+class TestThreadSafety:
+    def test_two_threads_profile_independently(self):
+        """Regression: the old module-global stack interleaved under threads,
+        producing bogus cross-thread parent/child paths."""
+        import threading
+
+        enable_profiling()
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def worker(name):
+            try:
+                for _ in range(30):
+                    with profile_stage(f"{name}.outer"):
+                        barrier.wait(timeout=10)
+                        with profile_stage(f"{name}.inner"):
+                            pass
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        paths = {r.path: r for r in get_profile()}
+        assert set(paths) == {"a.outer", "a.outer/a.inner",
+                              "b.outer", "b.outer/b.inner"}
+        assert all(r.calls == 30 for r in paths.values())
+
 
 class TestPipelineIntegration:
     def test_cliz_roundtrip_produces_stages(self):
