@@ -67,4 +67,8 @@ def compressor_for(name: str):
 def decompress(blob: bytes):
     """Decompress any blob produced by this package (routes on codec tag)."""
     codec = Container.peek_codec(blob)
+    if codec == "chunked":
+        from repro.parallel import decompress_chunked
+
+        return decompress_chunked(blob)
     return compressor_for(codec).decompress(blob)

@@ -85,17 +85,40 @@ def _obs_end(args, run) -> None:
               "(open in chrome://tracing or ui.perfetto.dev)", file=sys.stderr)
 
 
+def _faults_from(args):
+    """Parse --inject-faults into a FaultInjector (None when unset)."""
+    spec = getattr(args, "inject_faults", None)
+    if spec is None:
+        return None
+    from repro.faults import parse_fault_spec
+
+    return parse_fault_spec(spec)
+
+
 def cmd_compress(args) -> int:
     from repro import compressor_for
 
     data = np.load(args.input)
     mask = _load_mask(args.mask)
-    comp = compressor_for(args.codec)
     kwargs = _eb_kwargs(args)
-    if mask is not None:
-        kwargs["mask"] = mask
+    faults = _faults_from(args)
     run = _obs_begin(args)
-    blob = comp.compress(data, **kwargs)
+    if args.chunks:
+        from repro.parallel import compress_chunked
+
+        blob = compress_chunked(
+            data, args.codec, axis=args.chunk_axis, n_chunks=args.chunks,
+            workers=args.workers, mask=mask, retries=args.retries,
+            retry_backoff=args.retry_backoff, timeout=args.timeout,
+            faults=faults, **kwargs)
+    else:
+        if faults is not None:
+            raise SystemExit("--inject-faults on compress requires --chunks "
+                             "(faults target the chunked pipeline)")
+        comp = compressor_for(args.codec)
+        if mask is not None:
+            kwargs["mask"] = mask
+        blob = comp.compress(data, **kwargs)
     _obs_end(args, run)
     with open(args.output, "wb") as fh:
         fh.write(blob)
@@ -110,8 +133,33 @@ def cmd_decompress(args) -> int:
 
     with open(args.input, "rb") as fh:
         blob = fh.read()
+    faults = _faults_from(args)
+    if faults is not None:
+        # corrupt the blob in memory — exercises salvage without touching
+        # the file on disk (used by the CI robustness smoke job)
+        blob, events = faults.corrupt_blob(blob, "cli.decompress")
+        for event in events:
+            print(f"injected: {event}", file=sys.stderr)
     run = _obs_begin(args)
-    data = decompress(blob)
+    if args.salvage:
+        from repro.encoding.container import Container
+        from repro.parallel import decompress_chunked
+
+        codec = Container.peek_codec(blob)
+        if codec != "chunked":
+            raise SystemExit(
+                f"--salvage needs a chunked blob (got codec {codec!r}); "
+                "for RCDF datasets use repro.io.rcdf.read_rcdf(salvage=True)")
+        data, report = decompress_chunked(
+            blob, workers=args.workers, salvage=True, retries=args.retries,
+            retry_backoff=args.retry_backoff)
+        print(report.summary(), file=sys.stderr)
+        if args.salvage_report:
+            with open(args.salvage_report, "w") as fh:
+                json.dump(report.to_dict(), fh, indent=2)
+            print(f"salvage report -> {args.salvage_report}", file=sys.stderr)
+    else:
+        data = decompress(blob)
     _obs_end(args, run)
     np.save(args.output, data)
     print(f"{args.input} -> {args.output}: shape {data.shape}, dtype {data.dtype}")
@@ -226,6 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--abs-eb", type=float, default=None,
                        help="absolute pointwise error bound")
 
+    def add_resilience(p):
+        p.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: serial)")
+        p.add_argument("--retries", type=int, default=None,
+                       help="per-job retries with exponential backoff")
+        p.add_argument("--retry-backoff", type=float, default=None,
+                       help="base backoff seconds between retries (doubles each try)")
+        p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="deterministic fault spec, e.g. "
+                            "'seed=7;crash:p=0.5;bitflip:only=2' (see docs/ROBUSTNESS.md)")
+
     def add_obs(p):
         p.add_argument("--profile", action="store_true",
                        help="print a per-stage time/bytes table to stderr")
@@ -241,12 +300,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input"), p.add_argument("output")
     p.add_argument("--codec", default="cliz")
     p.add_argument("--mask", default=None, help=".npy boolean mask (True = valid)")
+    p.add_argument("--chunks", type=int, default=None,
+                   help="split into N chunks and compress them in parallel")
+    p.add_argument("--chunk-axis", type=int, default=0,
+                   help="axis to split along (with --chunks)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-chunk timeout in seconds (with --chunks)")
+    add_resilience(p)
     add_obs(p)
     add_eb(p)
     p.set_defaults(func=cmd_compress)
 
     p = sub.add_parser("decompress", help="decompress a blob to .npy")
     p.add_argument("input"), p.add_argument("output")
+    p.add_argument("--salvage", action="store_true",
+                   help="tolerate corrupt chunks: NaN-fill them and report "
+                        "instead of failing (chunked blobs)")
+    p.add_argument("--salvage-report", default=None, metavar="FILE",
+                   help="write the machine-readable salvage report JSON here")
+    add_resilience(p)
     add_obs(p)
     p.set_defaults(func=cmd_decompress)
 

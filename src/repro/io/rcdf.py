@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.encoding.container import Container
+from repro.encoding.container import (
+    Container,
+    CorruptStreamError,
+    DECODE_ERRORS,
+    SalvageReport,
+)
 from repro.encoding.lz import lz_compress, lz_decompress
 from repro.utils.validation import check_array
 
@@ -110,6 +115,8 @@ class RcdfDataset:
         self.attrs: dict = _check_attrs(attrs or {})
         self._variables: dict[str, RcdfVariable] = {}
         self._pending: dict[str, tuple[dict, bytes]] = {}  # lazy payloads
+        self._salvage = False  # tolerate decode failures on get()?
+        self.salvage_report: SalvageReport = SalvageReport(codec=_CODEC)
 
     # ------------------------------------------------------------------ #
     def create_dimension(self, name: str, size: int) -> None:
@@ -145,12 +152,23 @@ class RcdfDataset:
         return sorted(set(self._variables) | set(self._pending))
 
     def get(self, name: str) -> RcdfVariable:
-        """Fetch a variable, decompressing it on first access."""
+        """Fetch a variable, decompressing it on first access.
+
+        In salvage mode a variable that fails to decode comes back
+        NaN-filled instead of raising, with the failure recorded in
+        :attr:`salvage_report`.
+        """
         if name in self._variables:
             return self._variables[name]
         if name in self._pending:
             meta, payload = self._pending.pop(name)
-            var = _decode_variable(meta, payload)
+            try:
+                var = _decode_variable(meta, payload)
+            except DECODE_ERRORS as exc:
+                if not self._salvage:
+                    raise
+                self.salvage_report.add(name, "decode", f"{type(exc).__name__}: {exc}")
+                var = _blank_variable(meta)
             self._variables[name] = var
             return var
         raise KeyError(f"no variable {name!r}")
@@ -175,18 +193,83 @@ class RcdfDataset:
         return container.to_bytes()
 
     @classmethod
-    def from_bytes(cls, blob: bytes) -> "RcdfDataset":
-        container = Container.from_bytes(blob)
+    def from_bytes(cls, blob: bytes, *, salvage: bool = False) -> "RcdfDataset":
+        """Parse a dataset; variables decode lazily on :meth:`get`.
+
+        With ``salvage=True`` corruption no longer aborts the read:
+        variables whose payload section is missing, fails its CRC
+        (container v2), or fails to decode come back NaN-filled
+        (zero-filled for integer dtypes) with their metadata intact, and
+        :attr:`salvage_report` describes exactly what was lost. Salvage
+        decodes every variable eagerly so the report is complete on
+        return.
+        """
+        container = Container.from_bytes(blob, salvage=salvage)
         if container.codec != _CODEC:
             raise ValueError(f"not an RCDF stream (codec {container.codec!r})")
-        ds = cls(attrs=container.header["attrs"])
-        ds.dimensions = dict(container.header["dimensions"])
-        for meta in container.header["variables"]:
-            ds._pending[meta["name"]] = (meta, container.section(f"var:{meta['name']}"))
+        header = container.header
+        if not isinstance(header.get("attrs"), dict) or \
+                not isinstance(header.get("dimensions"), dict) or \
+                not isinstance(header.get("variables"), list):
+            raise CorruptStreamError("RCDF header is missing attrs/dimensions/variables")
+        ds = cls(attrs=header["attrs"])
+        ds.dimensions = dict(header["dimensions"])
+        report = SalvageReport(codec=_CODEC, total=len(header["variables"]))
+        for meta in header["variables"]:
+            name = meta.get("name")
+            section = f"var:{name}"
+            if not container.has_section(section):
+                if not salvage:
+                    raise CorruptStreamError(
+                        f"RCDF stream is missing payload for variable {name!r}")
+                report.add(name, "missing", "payload section absent")
+                ds._variables[name] = _blank_variable(meta)
+                continue
+            try:
+                payload = container.section(section)
+            except CorruptStreamError as exc:
+                # only reachable in salvage mode (strict parse raised earlier)
+                report.add(name, "crc", str(exc))
+                ds._variables[name] = _blank_variable(meta)
+                continue
+            ds._pending[name] = (meta, payload)
+        ds.salvage_report = report
+        if salvage:
+            ds._salvage = True
+            for name in list(ds._pending):
+                ds.get(name)  # eager decode so the report is complete
+            obs_counters(report)
         return ds
 
 
 # ---------------------------------------------------------------------- #
+def _blank_variable(meta: dict) -> RcdfVariable:
+    """A NaN-filled stand-in for a variable whose payload was lost.
+
+    Metadata (dims, attrs, codec, bounds) survives — only the data is
+    gone. Integer variables are zero-filled (NaN is unrepresentable).
+    """
+    dtype = np.dtype(meta["dtype"])
+    data = np.empty(tuple(meta["shape"]), dtype=dtype)
+    if np.issubdtype(dtype, np.inexact):
+        data.fill(np.nan)
+    else:
+        data.fill(0)
+    return RcdfVariable(
+        meta["name"], tuple(meta["dims"]), data, attrs=meta["attrs"],
+        codec=meta["codec"], rel_eb=meta["rel_eb"], abs_eb=meta["abs_eb"],
+    )
+
+
+def obs_counters(report: SalvageReport) -> None:
+    """Mirror a salvage outcome into the run metrics (no-op when off)."""
+    from repro import obs
+
+    obs.inc_counter("salvage.reads")
+    obs.inc_counter("salvage.vars_failed", len(report.failures))
+    obs.inc_counter("salvage.vars_recovered", report.total - len(report.failures))
+
+
 def _encode_variable(var: RcdfVariable) -> tuple[dict, bytes]:
     meta = {
         "name": var.name,
@@ -242,7 +325,11 @@ def write_rcdf(path, dataset: RcdfDataset) -> None:
         fh.write(blob)
 
 
-def read_rcdf(path) -> RcdfDataset:
-    """Load a dataset from a file path (variables decode lazily)."""
+def read_rcdf(path, *, salvage: bool = False) -> RcdfDataset:
+    """Load a dataset from a file path (variables decode lazily).
+
+    ``salvage=True`` tolerates corruption: damaged variables come back
+    NaN-filled and the returned dataset's ``salvage_report`` lists them.
+    """
     with open(path, "rb") as fh:
-        return RcdfDataset.from_bytes(fh.read())
+        return RcdfDataset.from_bytes(fh.read(), salvage=salvage)

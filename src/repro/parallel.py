@@ -1,4 +1,4 @@
-"""Chunked / parallel compression for archive-scale arrays.
+"""Chunked / parallel compression for archive-scale arrays — self-healing.
 
 The paper's scaled experiment (§VII-C4) compresses one file per core; a
 production archive equally needs to split a single huge array across
@@ -18,27 +18,116 @@ GIL for large kernels, but the Python-level coding stages do not, so
 processes are the profitable unit — with chunks sized so the fork+pickle
 overhead stays negligible, per the HPC-Python guidance.
 
+Resilience (see ``docs/ROBUSTNESS.md``): every dispatch accepts a retry
+budget (``retries`` + bounded exponential ``retry_backoff``), a per-job
+``timeout`` (enforced inside the worker via ``SIGALRM``), and a
+``faults`` injector (:mod:`repro.faults`). A worker process dying takes
+down the whole ``ProcessPoolExecutor`` (``BrokenProcessPool``) — the
+dispatcher respawns the pool and requeues only the unfinished jobs
+instead of aborting the batch. With ``strict=False`` callers get
+structured per-job :class:`JobResult` records instead of an exception.
+:func:`decompress_chunked` additionally supports ``salvage=True``:
+chunks that are missing, fail their section CRC (container v2), or fail
+to decode come back NaN-filled, with a
+:class:`~repro.encoding.container.SalvageReport` describing the damage.
+
 When an observability run is active in the dispatching process
 (``repro.obs`` / ``enable_profiling()``), each pool worker collects spans
 and metrics into a local run and ships them back alongside its result;
 the parent stitches them under the dispatching span, so profiles and
-traces see through the process boundary.
+traces see through the process boundary. Retries, pool respawns, and
+salvage outcomes land in ``parallel.*`` / ``salvage.*`` counters.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import heapq
+import os
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
-from repro.encoding.container import Container
+from repro.encoding.container import (
+    Container,
+    CorruptStreamError,
+    DECODE_ERRORS,
+    SalvageReport,
+)
+from repro.faults import FaultInjectedError, FaultInjector, JobFaults, parse_fault_spec
 from repro.utils.validation import check_array, check_mask
 
-__all__ = ["compress_chunked", "decompress_chunked", "compress_many", "decompress_many"]
+__all__ = [
+    "compress_chunked",
+    "decompress_chunked",
+    "compress_many",
+    "decompress_many",
+    "JobResult",
+    "RetryPolicy",
+    "ParallelJobError",
+]
 
 _CODEC = "chunked"
 
+
+class ParallelJobError(RuntimeError):
+    """A job exhausted its retry budget without a re-raisable cause."""
+
+    def __init__(self, message: str, results: list["JobResult"] | None = None) -> None:
+        super().__init__(message)
+        self.results = results or []
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout budget for one dispatch.
+
+    ``retries`` is the number of *additional* attempts after the first;
+    backoff before retry ``k`` is ``min(backoff * 2**(k-1), max_backoff)``
+    seconds. ``timeout`` bounds each attempt inside the worker process
+    (SIGALRM), surfacing as a retryable ``TimeoutError``.
+    """
+
+    retries: int = 0
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    timeout: float | None = None
+    max_pool_respawns: int = 3
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-running a job whose ``attempt``-th try failed."""
+        return min(self.backoff * (2.0 ** (attempt - 1)), self.max_backoff)
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of one job (returned with ``strict=False``)."""
+
+    index: int
+    ok: bool
+    value: object = None
+    error: str | None = None
+    error_type: str | None = None
+    attempts: int = 1
+    exception: BaseException | None = field(default=None, repr=False)
+
+
+# ---------------------------------------------------------------------- #
+# Worker-side execution: fault directives, per-job timeout, telemetry.
 
 def _compress_one(args) -> bytes:
     codec, arr, kwargs, mask = args
@@ -50,36 +139,284 @@ def _compress_one(args) -> bytes:
     return comp.compress(arr, **kwargs)
 
 
-def _compress_one_traced(args) -> tuple[bytes, list[dict], dict]:
-    """Pool-worker entry: compress under a local run, ship telemetry back."""
-    with obs.run(tags={"role": "worker"}) as run:
-        with obs.span("worker", codec=args[0]):
-            blob = _compress_one(args)
-    return blob, run.span_records(), run.metrics.snapshot()
-
-
-def _decompress_one_traced(blob: bytes) -> tuple[np.ndarray, list[dict], dict]:
+def _decompress_one(blob: bytes) -> np.ndarray:
     from repro import decompress
 
+    return decompress(blob)
+
+
+def _raise_job_timeout(signum, frame):  # pragma: no cover - async signal
+    raise TimeoutError("per-job timeout exceeded")
+
+
+def _apply_job_faults(directive: JobFaults | None, attempt: int, *,
+                      in_worker: bool) -> None:
+    """Apply planned fault directives for this attempt.
+
+    In a pool worker an injected crash is a *hard* death (``os._exit``) so
+    the dispatcher sees the real ``BrokenProcessPool`` recovery path; in
+    serial execution it degrades to :class:`FaultInjectedError` (we cannot
+    kill the caller).
+    """
+    if directive is None:
+        return
+    if attempt <= directive.crash_attempts:
+        if in_worker:
+            os._exit(86)
+        raise FaultInjectedError(
+            f"injected crash (attempt {attempt}/{directive.crash_attempts})")
+    if directive.delay > 0.0:
+        time.sleep(directive.delay)
+
+
+def _run_attempt(fn, payload, directive: JobFaults | None, attempt: int,
+                 timeout: float | None, *, in_worker: bool):
+    """One attempt of one job: faults, then timeout-bounded work."""
+    use_alarm = (timeout is not None
+                 and threading.current_thread() is threading.main_thread())
+    old_handler = None
+    if use_alarm:
+        old_handler = signal.signal(signal.SIGALRM, _raise_job_timeout)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        _apply_job_faults(directive, attempt, in_worker=in_worker)
+        return fn(payload)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, old_handler)
+
+
+def _worker_call(fn, payload, directive: JobFaults | None, attempt: int,
+                 timeout: float | None, traced: bool):
+    """Pool-worker entry: run one attempt, optionally shipping telemetry."""
+    if not traced:
+        return _run_attempt(fn, payload, directive, attempt, timeout,
+                            in_worker=True), None, None
     with obs.run(tags={"role": "worker"}) as run:
-        with obs.span("worker"):
-            out = decompress(blob)
+        with obs.span("worker", attempt=attempt):
+            out = _run_attempt(fn, payload, directive, attempt, timeout,
+                               in_worker=True)
     return out, run.span_records(), run.metrics.snapshot()
 
 
-def _pool_map(traced_fn, plain_fn, jobs, workers, dispatch_span):
-    """Map jobs on a process pool, absorbing worker telemetry if collecting."""
+# ---------------------------------------------------------------------- #
+# Dispatcher-side engine.
+
+def _plan_directives(faults: FaultInjector | None, scope: str,
+                     n: int) -> list[JobFaults | None]:
+    """Plan per-job fault directives up front (deterministic, counted)."""
+    if faults is None:
+        return [None] * n
+    directives: list[JobFaults | None] = []
+    for i in range(n):
+        d = faults.job_faults(scope, i)
+        if d.crash_attempts:
+            obs.inc_counter("faults.crash_planned")
+        if d.delay:
+            obs.inc_counter("faults.slow_planned")
+        directives.append(d if d.any else None)
+    return directives
+
+
+def _resolve_policy(retries, retry_backoff, timeout) -> RetryPolicy:
+    kwargs = {}
+    if retries is not None:
+        kwargs["retries"] = int(retries)
+    if retry_backoff is not None:
+        kwargs["backoff"] = float(retry_backoff)
+    if timeout is not None:
+        kwargs["timeout"] = float(timeout)
+    return RetryPolicy(**kwargs)
+
+
+def _resolve_faults(faults) -> FaultInjector | None:
+    if faults is None or isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, str):
+        return parse_fault_spec(faults)
+    raise TypeError("faults must be a FaultInjector or a spec string")
+
+
+def _failure(index: int, attempts: int, exc: BaseException | None,
+             reason: str | None = None) -> JobResult:
+    obs.inc_counter("parallel.job_failures")
+    return JobResult(
+        index=index, ok=False,
+        error=reason or f"{type(exc).__name__}: {exc}",
+        error_type=type(exc).__name__ if exc is not None else "WorkerCrash",
+        attempts=attempts, exception=exc,
+    )
+
+
+def _run_serial(fn, payloads, directives, policy: RetryPolicy) -> list[JobResult]:
+    results: list[JobResult] = []
+    for i, payload in enumerate(payloads):
+        attempt = 1
+        while True:
+            try:
+                value = _run_attempt(fn, payload, directives[i], attempt,
+                                     policy.timeout, in_worker=False)
+            except Exception as exc:  # noqa: BLE001 - structured error capture
+                if isinstance(exc, TimeoutError):
+                    obs.inc_counter("parallel.timeouts")
+                if attempt > policy.retries:
+                    results.append(_failure(i, attempt, exc))
+                    break
+                obs.inc_counter("parallel.retries")
+                time.sleep(policy.delay(attempt))
+                attempt += 1
+            else:
+                obs.inc_counter("parallel.jobs_ok")
+                obs.observe("parallel.job_attempts", attempt)
+                results.append(JobResult(index=i, ok=True, value=value,
+                                         attempts=attempt))
+                break
+    return results
+
+
+def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
+              dispatch) -> list[JobResult]:
+    """Pool execution with retries, requeue, and pool respawn.
+
+    A hard worker death breaks the whole executor: every in-flight future
+    raises ``BrokenProcessPool``. We respawn the pool once per break
+    (bounded by ``policy.max_pool_respawns``) and requeue only unfinished
+    jobs — the innocent in-flight jobs consume a retry each, which keeps
+    a persistently crashing job from respawning the pool forever.
+    """
     run = obs.get_run()
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        if run is None:
-            return list(pool.map(plain_fn, jobs))
-        results = []
-        for out, spans, metrics in pool.map(traced_fn, jobs):
-            run.absorb(spans, metrics, reparent_to=dispatch_span)
-            results.append(out)
+    traced = run is not None
+    n = len(payloads)
+    results: list[JobResult | None] = [None] * n
+    ready: deque[tuple[int, int]] = deque((i, 1) for i in range(n))
+    delayed: list[tuple[float, int, int]] = []  # (ready_time, index, attempt)
+    pool = ProcessPoolExecutor(max_workers=workers)
+    in_flight: dict = {}
+    respawns = 0
+
+    def requeue_or_fail(i: int, attempt: int, exc: BaseException | None,
+                        reason: str | None = None, *, count_retry: bool = True) -> None:
+        if attempt > policy.retries:
+            results[i] = _failure(i, attempt, exc, reason)
+            return
+        if count_retry:
+            obs.inc_counter("parallel.retries")
+        heapq.heappush(delayed,
+                       (time.monotonic() + policy.delay(attempt), i, attempt + 1))
+
+    try:
+        while ready or delayed or in_flight:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, i, attempt = heapq.heappop(delayed)
+                ready.append((i, attempt))
+            pool_broken = False
+            while ready and len(in_flight) < 2 * workers:
+                i, attempt = ready.popleft()
+                try:
+                    fut = pool.submit(_worker_call, fn, payloads[i],
+                                      directives[i], attempt, policy.timeout,
+                                      traced)
+                except BrokenProcessPool:
+                    ready.appendleft((i, attempt))
+                    pool_broken = True
+                    break
+                in_flight[fut] = (i, attempt)
+            if in_flight and not pool_broken:
+                done, _ = wait(set(in_flight), timeout=0.1,
+                               return_when=FIRST_COMPLETED)
+                for fut in done:
+                    i, attempt = in_flight.pop(fut)
+                    try:
+                        out, spans, metrics = fut.result()
+                    except BrokenProcessPool:
+                        pool_broken = True
+                        obs.inc_counter("parallel.worker_crashes")
+                        requeue_or_fail(i, attempt, None,
+                                        "worker process died (BrokenProcessPool)",
+                                        count_retry=False)
+                    except Exception as exc:  # noqa: BLE001 - structured error capture
+                        if isinstance(exc, TimeoutError):
+                            obs.inc_counter("parallel.timeouts")
+                        requeue_or_fail(i, attempt, exc)
+                    else:
+                        if traced and spans:
+                            run.absorb(spans, metrics, reparent_to=dispatch)
+                        obs.inc_counter("parallel.jobs_ok")
+                        obs.observe("parallel.job_attempts", attempt)
+                        results[i] = JobResult(index=i, ok=True, value=out,
+                                               attempts=attempt)
+            elif not in_flight:
+                # everything is waiting out a backoff window
+                time.sleep(min(0.05, max(0.0, delayed[0][0] - now)) if delayed else 0.001)
+            if pool_broken:
+                respawns += 1
+                obs.inc_counter("parallel.pool_respawns")
+                # the break also killed every other in-flight job: requeue them
+                for _fut, (i, attempt) in list(in_flight.items()):
+                    obs.inc_counter("parallel.crash_requeues")
+                    requeue_or_fail(i, attempt, None,
+                                    "requeued after pool crash", count_retry=False)
+                in_flight.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                if respawns > policy.max_pool_respawns:
+                    for i, attempt in list(ready) + [(di, da) for _, di, da in delayed]:
+                        results[i] = _failure(
+                            i, attempt, None,
+                            f"pool respawn budget exhausted ({respawns - 1})")
+                    ready.clear()
+                    delayed.clear()
+                    break
+                pool = ProcessPoolExecutor(max_workers=workers)
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
+    for i, r in enumerate(results):
+        if r is None:  # defensive: dispatch aborted before the job finished
+            results[i] = _failure(i, 0, None, "job never completed")
+    return results  # type: ignore[return-value]
+
+
+def _run_jobs(fn, payloads, *, workers, policy: RetryPolicy,
+              faults: FaultInjector | None, scope: str, dispatch) -> list[JobResult]:
+    directives = _plan_directives(faults, scope, len(payloads))
+    if workers:
+        return _run_pool(fn, payloads, directives, workers, policy, dispatch)
+    return _run_serial(fn, payloads, directives, policy)
+
+
+def _finalize(results: list[JobResult], strict: bool, what: str):
+    """Strict mode: re-raise the first failure's original cause; otherwise
+    hand the structured results back to the caller."""
+    if not strict:
         return results
+    for r in results:
+        if not r.ok:
+            if r.exception is not None:
+                raise type(r.exception)(
+                    f"{what} job {r.index} failed after {r.attempts} attempt(s): "
+                    f"{r.exception}") from r.exception
+            raise ParallelJobError(
+                f"{what} job {r.index} failed after {r.attempts} attempt(s): "
+                f"{r.error}", results)
+    return [r.value for r in results]
 
 
+def _inject_storage_faults(blobs: list[bytes], faults: FaultInjector | None,
+                           scope: str) -> list[bytes]:
+    """Apply deterministic bit rot (bitflip/truncate clauses) to blobs."""
+    if faults is None:
+        return blobs
+    out = []
+    for i, blob in enumerate(blobs):
+        corrupted, events = faults.corrupt_blob(blob, f"{scope}.{i}", index=i)
+        for event in events:
+            obs.inc_counter(f"faults.{event['fault']}_injected")
+        out.append(corrupted)
+    return out
+
+
+# ---------------------------------------------------------------------- #
 def _chunk_slices(n: int, n_chunks: int) -> list[slice]:
     bounds = np.linspace(0, n, n_chunks + 1).astype(int)
     return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
@@ -87,12 +424,20 @@ def _chunk_slices(n: int, n_chunks: int) -> list[slice]:
 
 def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
                      n_chunks: int = 4, workers: int | None = None,
-                     mask: np.ndarray | None = None, **codec_kwargs) -> bytes:
+                     mask: np.ndarray | None = None,
+                     retries: int | None = None, retry_backoff: float | None = None,
+                     timeout: float | None = None,
+                     faults: FaultInjector | str | None = None,
+                     **codec_kwargs) -> bytes:
     """Compress ``data`` as independent chunks along ``axis``.
 
     ``workers=None`` runs serially (deterministic, no pool overhead);
     ``workers=k`` uses a process pool of ``k`` workers. Extra keyword
     arguments (``abs_eb=...`` / ``rel_eb=...``) pass through to the codec.
+    ``retries``/``retry_backoff``/``timeout`` configure the per-job
+    :class:`RetryPolicy`; ``faults`` injects deterministic failures
+    (worker crash/slow directives apply per chunk job, bitflip/truncate
+    clauses corrupt the stored chunk blobs — for exercising salvage).
 
     Relative bounds are resolved *per chunk* by the codec; to keep one
     global bound across chunks, pass ``abs_eb``.
@@ -103,6 +448,8 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
         raise ValueError(f"axis {axis} out of range for {arr.ndim}D data")
     if n_chunks < 1:
         raise ValueError("n_chunks must be >= 1")
+    faults = _resolve_faults(faults)
+    policy = _resolve_policy(retries, retry_backoff, timeout)
     slices = _chunk_slices(arr.shape[axis], n_chunks)
     take = lambda a, sl: np.ascontiguousarray(  # noqa: E731
         a[(slice(None),) * axis + (sl,)])
@@ -112,11 +459,10 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
     ]
     with obs.span("compress_chunked", nbytes=arr.nbytes, codec=codec,
                   n_chunks=len(jobs), workers=workers or 0) as dispatch:
-        if workers:
-            blobs = _pool_map(_compress_one_traced, _compress_one,
-                              jobs, workers, dispatch)
-        else:
-            blobs = [_compress_one(job) for job in jobs]
+        results = _run_jobs(_compress_one, jobs, workers=workers, policy=policy,
+                            faults=faults, scope="chunk", dispatch=dispatch)
+    blobs = _finalize(results, True, "compress_chunked")
+    blobs = _inject_storage_faults(blobs, faults, "chunk")
 
     container = Container(_CODEC, {
         "inner_codec": codec,
@@ -129,40 +475,154 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
     return container.to_bytes()
 
 
-def decompress_chunked(blob: bytes, workers: int | None = None) -> np.ndarray:
-    """Inverse of :func:`compress_chunked`."""
-    from repro import decompress
+def _validate_chunked_header(header: dict) -> tuple[int, int, list[int]]:
+    """Validate the chunked-container header before trusting any field.
 
-    container = Container.from_bytes(blob)
+    A tampered header must fail here with a clear :class:`ValueError`
+    (:class:`CorruptStreamError`), not as a bare ``KeyError: 'chunk1'`` or
+    a bogus ``np.concatenate`` axis error deep in reassembly.
+    """
+    def _int(value) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    n_chunks = header.get("n_chunks")
+    if not _int(n_chunks) or n_chunks < 1:
+        raise CorruptStreamError(
+            f"chunked header: n_chunks must be a positive int, got {n_chunks!r}")
+    shape = header.get("shape")
+    if (not isinstance(shape, list) or not shape
+            or not all(_int(s) and s > 0 for s in shape)):
+        raise CorruptStreamError(
+            f"chunked header: shape must be a list of positive ints, got {shape!r}")
+    axis = header.get("axis")
+    if not _int(axis) or not 0 <= axis < len(shape):
+        raise CorruptStreamError(
+            f"chunked header: axis {axis!r} invalid for {len(shape)}D shape")
+    if n_chunks > shape[axis]:
+        raise CorruptStreamError(
+            f"chunked header: {n_chunks} chunks along axis {axis} of size {shape[axis]}")
+    return n_chunks, axis, shape
+
+
+def _nan_fill(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    chunk = np.empty(shape, dtype=dtype)
+    if np.issubdtype(dtype, np.inexact):
+        chunk.fill(np.nan)
+    else:
+        chunk.fill(0)
+    return chunk
+
+
+def decompress_chunked(blob: bytes, workers: int | None = None, *,
+                       salvage: bool = False,
+                       retries: int | None = None, retry_backoff: float | None = None,
+                       timeout: float | None = None,
+                       faults: FaultInjector | str | None = None):
+    """Inverse of :func:`compress_chunked`.
+
+    With ``salvage=True`` corruption no longer aborts the read: chunks
+    that are missing, fail their section CRC, or fail to decode come back
+    NaN-filled (zero-filled for integer dtypes), and the return value is
+    a ``(array, SalvageReport)`` tuple instead of the bare array.
+    """
+    faults = _resolve_faults(faults)
+    policy = _resolve_policy(retries, retry_backoff, timeout)
+    container = Container.from_bytes(blob, salvage=salvage)
     if container.codec != _CODEC:
         raise ValueError(f"not a chunked stream (codec {container.codec!r})")
-    header = container.header
-    chunks_blobs = [container.section(f"chunk{i}") for i in range(header["n_chunks"])]
-    with obs.span("decompress_chunked", nbytes=len(blob),
+    n_chunks, axis, shape = _validate_chunked_header(container.header)
+    slices = _chunk_slices(shape[axis], n_chunks)
+    if len(slices) != n_chunks:
+        raise CorruptStreamError(
+            f"chunked header: n_chunks {n_chunks} inconsistent with shape {shape}")
+    report = SalvageReport(codec=_CODEC, total=n_chunks)
+
+    chunk_blobs: list[bytes | None] = []
+    for i in range(n_chunks):
+        name = f"chunk{i}"
+        if not container.has_section(name):
+            if not salvage:
+                raise CorruptStreamError(f"chunked stream is missing section {name!r}")
+            chunk_blobs.append(None)
+            report.add(name, "missing", "section absent (truncated container)")
+            continue
+        try:
+            chunk_blobs.append(container.section(name))
+        except CorruptStreamError as exc:
+            # only reachable in salvage mode (strict parse raised earlier)
+            chunk_blobs.append(None)
+            report.add(name, "crc", str(exc))
+
+    present = [(i, b) for i, b in enumerate(chunk_blobs) if b is not None]
+    with obs.span("decompress_chunked", nbytes=len(blob), salvage=salvage,
                   workers=workers or 0) as dispatch:
-        if workers:
-            chunks = _pool_map(_decompress_one_traced, decompress,
-                               chunks_blobs, workers, dispatch)
+        results = _run_jobs(_decompress_one, [b for _, b in present],
+                            workers=workers, policy=policy, faults=faults,
+                            scope="unchunk", dispatch=dispatch)
+    chunks: list[np.ndarray | None] = [None] * n_chunks
+    for (i, _), result in zip(present, results):
+        if result.ok:
+            chunks[i] = result.value
         else:
-            chunks = [decompress(b) for b in chunks_blobs]
-    out = np.concatenate(chunks, axis=header["axis"])
-    if list(out.shape) != header["shape"]:
-        raise ValueError("chunked stream reassembled to the wrong shape")
+            if not salvage:
+                return _finalize([result], True, "decompress_chunked")
+            report.add(f"chunk{i}", "decode", result.error or "decode failed")
+
+    dtype = next((c.dtype for c in chunks if c is not None), np.dtype(np.float64))
+    if not np.issubdtype(dtype, np.inexact) and any(c is None for c in chunks):
+        report.notes.append(f"integer dtype {dtype}: failed chunks zero-filled")
+    for i, sl in enumerate(slices):
+        if chunks[i] is None:
+            chunk_shape = list(shape)
+            chunk_shape[axis] = sl.stop - sl.start
+            chunks[i] = _nan_fill(tuple(chunk_shape), dtype)
+        elif list(chunks[i].shape[:axis]) + list(chunks[i].shape[axis + 1:]) != \
+                shape[:axis] + shape[axis + 1:] or \
+                chunks[i].shape[axis] != sl.stop - sl.start:
+            if not salvage:
+                raise CorruptStreamError(
+                    f"chunk {i} decoded to shape {chunks[i].shape}, "
+                    f"expected axis-{axis} slice of {shape}")
+            report.add(f"chunk{i}", "decode",
+                       f"decoded to wrong shape {chunks[i].shape}")
+            chunk_shape = list(shape)
+            chunk_shape[axis] = sl.stop - sl.start
+            chunks[i] = _nan_fill(tuple(chunk_shape), dtype)
+
+    out = np.concatenate(chunks, axis=axis)
+    if list(out.shape) != shape:
+        raise CorruptStreamError("chunked stream reassembled to the wrong shape")
+    if salvage:
+        obs.inc_counter("salvage.reads")
+        obs.inc_counter("salvage.chunks_failed", len(report.failures))
+        obs.inc_counter("salvage.chunks_recovered", n_chunks - len(report.failures))
+        return out, report
     return out
 
 
 def compress_many(arrays: list[np.ndarray], codec: str = "cliz", *,
                   workers: int | None = None, masks: list | None = None,
-                  **codec_kwargs) -> list[bytes]:
+                  retries: int | None = None, retry_backoff: float | None = None,
+                  timeout: float | None = None,
+                  faults: FaultInjector | str | None = None,
+                  strict: bool = True, **codec_kwargs):
     """Compress independent arrays concurrently (one file per core).
 
     Arrays and masks are validated up front (same checks as a direct
     ``compress`` call), so malformed input fails fast in the caller with a
     clear message instead of surfacing as a pickled traceback from a pool
     worker after processes have already been spawned.
+
+    Failed jobs are retried per the :class:`RetryPolicy`; a worker-process
+    death respawns the pool and requeues unfinished jobs. With
+    ``strict=False`` the return value is a list of :class:`JobResult`
+    (one per array, ``.value`` holding the blob) instead of raising on
+    the first exhausted job.
     """
     if masks is not None and len(masks) != len(arrays):
         raise ValueError("masks must align with arrays")
+    faults = _resolve_faults(faults)
+    policy = _resolve_policy(retries, retry_backoff, timeout)
     jobs = []
     for i, a in enumerate(arrays):
         try:
@@ -173,19 +633,32 @@ def compress_many(arrays: list[np.ndarray], codec: str = "cliz", *,
         jobs.append((codec, arr, dict(codec_kwargs), m))
     with obs.span("compress_many", codec=codec, n_arrays=len(jobs),
                   workers=workers or 0) as dispatch:
-        if workers:
-            return _pool_map(_compress_one_traced, _compress_one,
-                             jobs, workers, dispatch)
-        return [_compress_one(job) for job in jobs]
+        results = _run_jobs(_compress_one, jobs, workers=workers, policy=policy,
+                            faults=faults, scope="many", dispatch=dispatch)
+    out = _finalize(results, strict, "compress_many")
+    if strict:
+        return _inject_storage_faults(out, faults, "many")
+    for r in out:
+        if r.ok and faults is not None:
+            blob, events = faults.corrupt_blob(r.value, f"many.{r.index}",
+                                               index=r.index)
+            for event in events:
+                obs.inc_counter(f"faults.{event['fault']}_injected")
+            r.value = blob
+    return out
 
 
-def decompress_many(blobs: list[bytes], workers: int | None = None) -> list[np.ndarray]:
-    """Inverse of :func:`compress_many`."""
-    from repro import decompress
-
+def decompress_many(blobs: list[bytes], workers: int | None = None, *,
+                    retries: int | None = None, retry_backoff: float | None = None,
+                    timeout: float | None = None,
+                    faults: FaultInjector | str | None = None,
+                    strict: bool = True):
+    """Inverse of :func:`compress_many` (same resilience knobs)."""
+    faults = _resolve_faults(faults)
+    policy = _resolve_policy(retries, retry_backoff, timeout)
     with obs.span("decompress_many", n_blobs=len(blobs),
                   workers=workers or 0) as dispatch:
-        if workers:
-            return _pool_map(_decompress_one_traced, decompress,
-                             blobs, workers, dispatch)
-        return [decompress(b) for b in blobs]
+        results = _run_jobs(_decompress_one, list(blobs), workers=workers,
+                            policy=policy, faults=faults, scope="unmany",
+                            dispatch=dispatch)
+    return _finalize(results, strict, "decompress_many")

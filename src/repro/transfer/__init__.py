@@ -7,11 +7,14 @@ from repro.transfer.globus import (
     TransferResult,
     simulate_globus,
 )
-from repro.transfer.network import WanLink, fair_share_completions
+from repro.faults import LinkFaults
+from repro.transfer.network import WanLink, fair_share_completions, fair_share_stats
 
 __all__ = [
     "WanLink",
+    "LinkFaults",
     "fair_share_completions",
+    "fair_share_stats",
     "ThroughputModel",
     "PAPER_SPEEDS",
     "TransferResult",

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import obs
-from repro.transfer.network import WanLink, fair_share_completions
+from repro.faults import FaultInjector, LinkFaults
+from repro.transfer.network import WanLink, fair_share_stats
 
 #: Per-file simulated-time spans are emitted only below this file count,
 #: keeping traces of large sweeps bounded.
@@ -60,13 +61,21 @@ class TransferResult:
     total_time: float  # wall clock until the last byte lands
     total_compressed_bytes: int
     per_file_completions: np.ndarray = field(repr=False, default=None)
+    retransmits: int = 0  # deliveries dropped and resent (link faults)
+    goodput: float = 1.0  # useful bytes / total bytes transmitted
+    outage_time: float = 0.0  # seconds the link spent dark
 
     def as_row(self) -> str:
-        return (f"{self.codec:6s} cores={self.n_cores:5d} "
-                f"compress={self.compress_time:8.2f}s "
-                f"transfer={self.transfer_time:8.2f}s "
-                f"total={self.total_time:8.2f}s "
-                f"bytes={self.total_compressed_bytes}")
+        row = (f"{self.codec:6s} cores={self.n_cores:5d} "
+               f"compress={self.compress_time:8.2f}s "
+               f"transfer={self.transfer_time:8.2f}s "
+               f"total={self.total_time:8.2f}s "
+               f"bytes={self.total_compressed_bytes}")
+        if self.retransmits or self.outage_time:
+            row += (f" retransmits={self.retransmits}"
+                    f" goodput={self.goodput:.3f}"
+                    f" outage={self.outage_time:.2f}s")
+        return row
 
 
 def _emit_timeline(dispatch, codec: str, arrivals: np.ndarray,
@@ -96,13 +105,19 @@ def _emit_timeline(dispatch, codec: str, arrivals: np.ndarray,
 def simulate_globus(codec: str, *, n_cores: int, uncompressed_bytes: int,
                     compressed_bytes: list[int] | np.ndarray,
                     link: WanLink,
-                    speeds: dict[str, ThroughputModel] | None = None) -> TransferResult:
+                    speeds: dict[str, ThroughputModel] | None = None,
+                    faults: LinkFaults | FaultInjector | None = None) -> TransferResult:
     """Simulate ``len(compressed_bytes)`` files over ``n_cores`` cores.
 
     ``uncompressed_bytes`` is the per-file source size (drives compression
     time); ``compressed_bytes`` are the per-file payload sizes actually sent
     (measure them with the real codecs on the synthetic datasets).
+    ``faults`` injects link outages and drop/retransmit behaviour — pass a
+    :class:`~repro.faults.LinkFaults` directly or a
+    :class:`~repro.faults.FaultInjector` (its outage/drop clauses apply).
     """
+    if isinstance(faults, FaultInjector):
+        faults = faults.link_faults()
     speeds = speeds or PAPER_SPEEDS
     if codec not in speeds:
         raise ValueError(f"no throughput model for codec {codec!r}")
@@ -120,8 +135,9 @@ def simulate_globus(codec: str, *, n_cores: int, uncompressed_bytes: int,
         position_on_core = i // n_cores  # how many files this core did before
         arrivals[i] = (position_on_core + 1) * per_file_compress
     with obs.span("transfer.simulate", codec=codec, n_cores=n_cores,
-                  n_files=n_files) as dispatch:
-        completions = fair_share_completions(arrivals, sizes, link)
+                  n_files=n_files, faulty=faults is not None) as dispatch:
+        completions, stats = fair_share_stats(arrivals, sizes, link,
+                                              faults=faults)
         _emit_timeline(dispatch, codec, arrivals, completions, sizes,
                        per_file_compress, n_cores)
 
@@ -141,4 +157,7 @@ def simulate_globus(codec: str, *, n_cores: int, uncompressed_bytes: int,
         total_time=total_time,
         total_compressed_bytes=int(sizes.sum()),
         per_file_completions=completions,
+        retransmits=int(stats["retransmits"]),
+        goodput=float(stats["goodput"]),
+        outage_time=float(stats["outage_time"]),
     )

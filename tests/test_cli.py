@@ -55,6 +55,70 @@ class TestCompressDecompress:
         assert "sz3" in text and "sections" in text
 
 
+class TestResilienceFlags:
+    def test_chunked_roundtrip_with_retries(self, tmp_path, field_files, capsys):
+        dpath, _, data, _ = field_files
+        out = tmp_path / "d.rz"
+        back = tmp_path / "back.npy"
+        assert main(["compress", str(dpath), str(out), "--codec", "sz3",
+                     "--abs-eb", "1e-3", "--chunks", "4",
+                     "--retries", "2", "--retry-backoff", "0",
+                     "--inject-faults", "seed=1;crash:only=1"]) == 0
+        assert main(["decompress", str(out), str(back)]) == 0
+        assert np.abs(np.load(back) - data).max() <= 1e-3 + 1e-6
+
+    def test_salvage_flag_with_injected_bitrot(self, tmp_path, field_files, capsys):
+        dpath, _, _, _ = field_files
+        out = tmp_path / "d.rz"
+        back = tmp_path / "back.npy"
+        rep = tmp_path / "report.json"
+        main(["compress", str(dpath), str(out), "--codec", "sz3",
+              "--abs-eb", "1e-3", "--chunks", "4"])
+        capsys.readouterr()
+        assert main(["decompress", str(out), str(back), "--salvage",
+                     "--salvage-report", str(rep),
+                     "--inject-faults", "seed=5;bitflip:n=4"]) == 0
+        err = capsys.readouterr().err
+        assert "salvage" in err and "injected" in err
+        report = json.loads(rep.read_text())
+        assert report["codec"] == "chunked" and not report["ok"]
+        got = np.load(back)
+        assert np.isnan(got).any() and not np.isnan(got).all()
+
+    def test_salvage_clean_blob_reports_ok(self, tmp_path, field_files, capsys):
+        dpath, _, data, _ = field_files
+        out = tmp_path / "d.rz"
+        back = tmp_path / "back.npy"
+        rep = tmp_path / "report.json"
+        main(["compress", str(dpath), str(out), "--codec", "sz3",
+              "--abs-eb", "1e-3", "--chunks", "3"])
+        assert main(["decompress", str(out), str(back), "--salvage",
+                     "--salvage-report", str(rep)]) == 0
+        assert json.loads(rep.read_text())["ok"]
+        assert np.abs(np.load(back) - data).max() <= 1e-3 + 1e-6
+
+    def test_salvage_rejects_non_chunked_blob(self, tmp_path, field_files):
+        dpath, _, _, _ = field_files
+        out = tmp_path / "d.rz"
+        main(["compress", str(dpath), str(out), "--codec", "sz3",
+              "--abs-eb", "1e-3"])
+        with pytest.raises(SystemExit, match="chunked"):
+            main(["decompress", str(out), str(tmp_path / "b.npy"), "--salvage"])
+
+    def test_inject_faults_on_compress_needs_chunks(self, tmp_path, field_files):
+        dpath, _, _, _ = field_files
+        with pytest.raises(SystemExit, match="--chunks"):
+            main(["compress", str(dpath), str(tmp_path / "x.rz"),
+                  "--abs-eb", "1e-3", "--inject-faults", "seed=1;crash"])
+
+    def test_bad_fault_spec_fails_clearly(self, tmp_path, field_files):
+        dpath, _, _, _ = field_files
+        with pytest.raises(ValueError):
+            main(["compress", str(dpath), str(tmp_path / "x.rz"),
+                  "--abs-eb", "1e-3", "--chunks", "2",
+                  "--inject-faults", "frobnicate"])
+
+
 class TestTelemetryFlags:
     def test_compress_writes_trace_metrics_chrome(self, tmp_path, field_files, capsys):
         from repro.obs.sinks import load_jsonl, validate_metrics_line, validate_trace_line

@@ -1,0 +1,91 @@
+"""Corruption fuzzing: every registered codec must fail *cleanly* on damage.
+
+For each codec we compress a small field, then hammer the blob with seeded
+single-bit flips and truncations. Decoding corrupt input must raise from
+the documented exception set (``repro.encoding.container.DECODE_ERRORS`` —
+``CorruptStreamError`` is a ``ValueError`` subclass), never segfault, hang,
+or silently return garbage past the container checksums.
+"""
+
+import numpy as np
+import pytest
+
+from repro import COMPRESSORS, compressor_for, decompress
+from repro.encoding.container import DECODE_ERRORS
+from repro.parallel import compress_chunked
+
+N_FLIPS = 20
+N_TRUNCATIONS = 10
+
+
+def small_field(shape=(16, 16), seed=0):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 3, n) for n in shape], indexing="ij")
+    return (sum(np.sin(g) for g in grids)
+            + 0.01 * rng.standard_normal(shape)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def clean_blobs():
+    """One intact blob per codec (compressed once, reused by every case)."""
+    data = small_field()
+    blobs = {name: compressor_for(name).compress(data, rel_eb=1e-3)
+             for name in COMPRESSORS}
+    blobs["chunked"] = compress_chunked(data.astype(np.float64), "sz3",
+                                        n_chunks=3, abs_eb=1e-3)
+    return blobs
+
+
+ALL_CODECS = sorted(COMPRESSORS) + ["chunked"]
+
+
+def flip_bit(blob: bytes, bit: int) -> bytes:
+    buf = bytearray(blob)
+    buf[bit // 8] ^= 1 << (bit % 8)
+    return bytes(buf)
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS)
+def test_single_bit_flips_fail_cleanly(codec, clean_blobs):
+    blob = clean_blobs[codec]
+    rng = np.random.default_rng(hash(codec) % 2**32)
+    for bit in rng.integers(0, len(blob) * 8, size=N_FLIPS):
+        with pytest.raises(DECODE_ERRORS):
+            decompress(flip_bit(blob, int(bit)))
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS)
+def test_truncations_fail_cleanly(codec, clean_blobs):
+    blob = clean_blobs[codec]
+    rng = np.random.default_rng(hash(codec) % 2**32 + 1)
+    cuts = sorted(set(rng.integers(1, len(blob), size=N_TRUNCATIONS)))
+    for cut in cuts:
+        with pytest.raises(DECODE_ERRORS):
+            decompress(blob[: int(cut)])
+
+
+@pytest.mark.parametrize("codec", ALL_CODECS)
+def test_empty_and_tiny_inputs(codec, clean_blobs):
+    for junk in (b"", b"R", b"RPRZ", b"RPRZ\x02", clean_blobs[codec][:5]):
+        with pytest.raises(DECODE_ERRORS):
+            decompress(junk)
+
+
+def test_clean_blobs_still_decode(clean_blobs):
+    """The fuzz fixtures themselves are valid (guards against a suite that
+    passes because the baseline blob was already broken)."""
+    for codec, blob in clean_blobs.items():
+        out = decompress(blob)
+        assert out.shape == (16, 16)
+
+
+def test_corruption_detection_is_deterministic(clean_blobs):
+    blob = clean_blobs["cliz"]
+    bad = flip_bit(blob, len(blob) * 4)  # middle of the blob
+    errors = set()
+    for _ in range(3):
+        try:
+            decompress(bad)
+        except DECODE_ERRORS as exc:
+            errors.add((type(exc).__name__, str(exc)))
+    assert len(errors) == 1
