@@ -37,6 +37,7 @@ __all__ = [
     "AutoTuner",
     "PipelineConfig",
     "Layout",
+    "Container",
     "compressor_for",
     "decompress",
     "COMPRESSORS",

@@ -1,0 +1,56 @@
+"""repro.analysis — AST-based invariant linter for this repository.
+
+The reproduction's load-bearing conventions — bit-identical determinism
+(PAPER.md §V), the ``DECODE_ERRORS`` decode-safety discipline
+(docs/ROBUSTNESS.md), and full trace-span coverage of codec entry points
+(docs/OBSERVABILITY.md) — are enforced mechanically here instead of by
+reviewer folklore. Pure stdlib, no numpy import at lint time.
+
+Run it::
+
+    python -m repro.analysis src tests          # or the repro-lint script
+    python -m repro.analysis --list-rules
+
+Suppress a finding::
+
+    blob = risky()  # repro-lint: disable=DEC-001 -- header probe, re-raised below
+
+Configure in ``pyproject.toml`` under ``[tool.repro-lint]``. See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and how to add a rule.
+"""
+
+from repro.analysis.config import LintConfig, Override, find_pyproject, load_config
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import LintEngine, LintResult, iter_python_files
+from repro.analysis.registry import (
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    register,
+)
+from repro.analysis.reporters import JSON_REPORT_VERSION, render_json, render_text
+from repro.analysis.suppressions import Suppression, scan_suppressions
+
+__all__ = [
+    "LintConfig",
+    "Override",
+    "find_pyproject",
+    "load_config",
+    "Diagnostic",
+    "LintEngine",
+    "LintResult",
+    "iter_python_files",
+    "ModuleContext",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "JSON_REPORT_VERSION",
+    "render_json",
+    "render_text",
+    "Suppression",
+    "scan_suppressions",
+]

@@ -1,0 +1,130 @@
+"""``repro-lint`` / ``python -m repro.analysis`` command line.
+
+Exit codes (CI contract):
+
+* ``0`` — no findings (suppressed findings do not fail the build)
+* ``1`` — at least one error-severity finding
+* ``2`` — usage or internal error (argparse, unreadable config, bad rule id)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.config import LintConfig, find_pyproject, load_config
+from repro.analysis.engine import LintEngine
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based invariant linter for the CliZ reproduction: "
+                    "determinism, decode-safety, numpy hygiene, observability "
+                    "coverage, API consistency, repo hygiene.",
+    )
+    p.add_argument("paths", nargs="*", default=["src", "tests"],
+                   help="files or directories to lint (default: src tests)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--output", metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--select", metavar="IDS",
+                   help="comma-separated rule ids/families to run exclusively")
+    p.add_argument("--disable", metavar="IDS",
+                   help="comma-separated rule ids/families to turn off")
+    p.add_argument("--config", metavar="PYPROJECT",
+                   help="explicit pyproject.toml (default: nearest ancestor)")
+    p.add_argument("--no-config", action="store_true",
+                   help="ignore [tool.repro-lint] config entirely")
+    p.add_argument("--root", metavar="DIR",
+                   help="repo root for path scoping (default: config dir or cwd)")
+    p.add_argument("--lint-as", metavar="RELPATH",
+                   help="lint a single input file as if it lived at RELPATH "
+                        "(fixture/testing aid)")
+    p.add_argument("--show-suppressed", action="store_true",
+                   help="also print suppressed findings (text format)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    return p
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.default_paths) if rule.default_paths else "everywhere"
+        lines.append(f"{rule.id}  [{rule.family}]  {rule.description}")
+        lines.append(f"    scope: {scope}")
+        if rule.requires_reason:
+            lines.append("    suppression requires a '-- <reason>'")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        if args.no_config:
+            config, pyproject = LintConfig(), None
+        else:
+            pyproject = Path(args.config) if args.config \
+                else find_pyproject(Path.cwd())
+            config = load_config(pyproject)
+    except (OSError, ValueError) as exc:
+        print(f"repro-lint: config error: {exc}", file=sys.stderr)
+        return 2
+    if args.select:
+        config.select = [s.strip() for s in args.select.split(",") if s.strip()]
+    if args.disable:
+        config.disable += [s.strip() for s in args.disable.split(",") if s.strip()]
+
+    known = {r.id for r in all_rules()} | {r.family for r in all_rules()} \
+        | {r.id.split("-")[0] for r in all_rules()}
+    for rid in config.select + config.disable:
+        if rid.upper() not in {k.upper() for k in known}:
+            print(f"repro-lint: unknown rule or family {rid!r} "
+                  f"(see --list-rules)", file=sys.stderr)
+            return 2
+
+    if args.root:
+        root = Path(args.root)
+    elif pyproject is not None:
+        root = pyproject.parent
+    else:
+        root = Path.cwd()
+
+    engine = LintEngine(config=config, root=root)
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro-lint: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+    try:
+        result = engine.run(paths, lint_as=args.lint_as)
+    except ValueError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        report = render_json(result)
+    else:
+        report = render_text(result, show_suppressed=args.show_suppressed)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        if args.format == "text":
+            print(report.splitlines()[-1])
+    else:
+        print(report)
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Configuration for the lint engine (``[tool.repro-lint]`` in pyproject.toml).
+
+Example::
+
+    [tool.repro-lint]
+    exclude = ["tests/analysis/fixtures/**"]
+    disable = []                  # rule ids or families, globally off
+
+    [[tool.repro-lint.overrides]]
+    paths = ["src/repro/transfer/**"]
+    disable = ["DET"]             # path-scoped: sim clocks are fine here
+
+Config loading degrades gracefully: no pyproject, no ``[tool.repro-lint]``
+table, or a Python without :mod:`tomllib` (3.10) all yield the built-in
+defaults, so the linter never hard-fails on configuration.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10: stdlib tomllib is 3.11+
+    tomllib = None  # type: ignore[assignment]
+
+
+def match_path(relpath: str, pattern: str) -> bool:
+    """fnmatch with ``**`` behaving like "any subpath" (also zero dirs)."""
+    if fnmatch.fnmatch(relpath, pattern):
+        return True
+    # "pkg/**" should also match direct children and the dir itself
+    if pattern.endswith("/**"):
+        base = pattern[:-3]
+        return relpath == base or relpath.startswith(base + "/")
+    return False
+
+
+def match_any(relpath: str, patterns: list[str] | tuple[str, ...]) -> bool:
+    return any(match_path(relpath, p) for p in patterns)
+
+
+@dataclass
+class Override:
+    """Path-scoped rule adjustment."""
+
+    paths: list[str]
+    disable: list[str] = field(default_factory=list)
+    select: list[str] = field(default_factory=list)
+
+    def applies_to(self, relpath: str) -> bool:
+        return match_any(relpath, self.paths)
+
+
+@dataclass
+class LintConfig:
+    """Effective configuration after merging defaults with pyproject."""
+
+    select: list[str] = field(default_factory=list)    # empty = all rules
+    disable: list[str] = field(default_factory=list)
+    exclude: list[str] = field(default_factory=list)
+    overrides: list[Override] = field(default_factory=list)
+    source: str = "<defaults>"
+
+    def rule_enabled(self, rule_id: str, family: str, relpath: str | None = None) -> bool:
+        def hits(ids: list[str]) -> bool:
+            # a family is addressable by name ("determinism") or id prefix ("DET")
+            up = {i.upper() for i in ids}
+            return (rule_id.upper() in up or family.upper() in up
+                    or rule_id.upper().split("-")[0] in up)
+
+        if self.select and not hits(self.select):
+            return False
+        if hits(self.disable):
+            return False
+        if relpath is not None:
+            for ov in self.overrides:
+                if not ov.applies_to(relpath):
+                    continue
+                if ov.select and not hits(ov.select):
+                    return False
+                if hits(ov.disable):
+                    return False
+        return True
+
+    def excluded(self, relpath: str) -> bool:
+        return match_any(relpath, self.exclude)
+
+
+def _coerce_str_list(value, where: str) -> list[str]:
+    if not isinstance(value, list) or not all(isinstance(v, str) for v in value):
+        raise ValueError(f"[tool.repro-lint] {where} must be a list of strings")
+    return list(value)
+
+
+def parse_config(table: dict, source: str = "<inline>") -> LintConfig:
+    """Build a LintConfig from an already-parsed ``[tool.repro-lint]`` table."""
+    cfg = LintConfig(source=source)
+    if "select" in table:
+        cfg.select = _coerce_str_list(table["select"], "select")
+    if "disable" in table:
+        cfg.disable = _coerce_str_list(table["disable"], "disable")
+    if "exclude" in table:
+        cfg.exclude = _coerce_str_list(table["exclude"], "exclude")
+    for i, raw in enumerate(table.get("overrides", [])):
+        if not isinstance(raw, dict) or "paths" not in raw:
+            raise ValueError(f"[tool.repro-lint] overrides[{i}] needs a 'paths' key")
+        cfg.overrides.append(Override(
+            paths=_coerce_str_list(raw["paths"], f"overrides[{i}].paths"),
+            disable=_coerce_str_list(raw.get("disable", []), f"overrides[{i}].disable"),
+            select=_coerce_str_list(raw.get("select", []), f"overrides[{i}].select"),
+        ))
+    return cfg
+
+
+def load_config(pyproject: Path | None) -> LintConfig:
+    """Load ``[tool.repro-lint]`` from a pyproject.toml, tolerating absence."""
+    if pyproject is None or not pyproject.is_file() or tomllib is None:
+        return LintConfig()
+    with open(pyproject, "rb") as fh:
+        data = tomllib.load(fh)
+    table = data.get("tool", {}).get("repro-lint")
+    if table is None:
+        return LintConfig()
+    return parse_config(table, source=str(pyproject))
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Walk upward from ``start`` looking for a pyproject.toml."""
+    cur = start.resolve()
+    if cur.is_file():
+        cur = cur.parent
+    for candidate in [cur, *cur.parents]:
+        p = candidate / "pyproject.toml"
+        if p.is_file():
+            return p
+    return None
+
+
+__all__ = [
+    "LintConfig",
+    "Override",
+    "parse_config",
+    "load_config",
+    "find_pyproject",
+    "match_path",
+    "match_any",
+]

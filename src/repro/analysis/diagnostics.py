@@ -1,0 +1,49 @@
+"""Diagnostic records emitted by lint rules.
+
+A :class:`Diagnostic` is one finding: a rule id, a location, and a
+message. Diagnostics are plain data — reporters decide how to render
+them and the engine decides which ones survive suppression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: Severity levels, mildest first. ``error`` is the only level that makes
+#: the CLI exit non-zero; ``warning`` exists for rules being trialled.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding at a specific source location."""
+
+    rule_id: str
+    family: str
+    path: str            # repo-relative posix path (or the path as given)
+    line: int            # 1-based
+    col: int             # 0-based, matching ast.col_offset
+    message: str
+    severity: str = "error"
+    suppressed: bool = field(default=False, compare=False)
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule_id} {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule_id,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+__all__ = ["Diagnostic", "SEVERITIES"]

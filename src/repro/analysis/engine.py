@@ -1,0 +1,158 @@
+"""The lint engine: file collection, rule dispatch, suppression filtering.
+
+The engine is import-light and pure-stdlib so it can run in CI before the
+numeric dependencies are installed. Rules never see the filesystem — they
+get a parsed :class:`ModuleContext` — which is what makes the fixture
+corpus in ``tests/analysis`` able to lint snippets *as if* they lived at
+an arbitrary repo path (``lint_source(..., relpath=...)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.config import LintConfig
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import ModuleContext, ProjectRule, Rule, all_rules
+from repro.analysis.suppressions import scan_suppressions
+
+#: Directories never worth descending into.
+SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".pytest_cache", ".hypothesis",
+    "build", "dist", "telemetry",
+})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if any(d.severity == "error" for d in self.diagnostics) else 0
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+        elif path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(sub.parts):
+                    yield sub
+
+
+class LintEngine:
+    """Runs registered rules over files, applying config and suppressions."""
+
+    def __init__(self, config: LintConfig | None = None,
+                 root: Path | None = None,
+                 rules: Sequence[Rule] | None = None) -> None:
+        self.config = config or LintConfig()
+        self.root = (root or Path.cwd()).resolve()
+        self.rules: list[Rule] = list(rules) if rules is not None else all_rules()
+
+    # -- path handling -----------------------------------------------------
+
+    def relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- single-module linting --------------------------------------------
+
+    def lint_source(self, source: str, relpath: str) -> LintResult:
+        """Lint one source string as if it lived at ``relpath``."""
+        result = LintResult(files_checked=1)
+        try:
+            ctx = ModuleContext.from_source(source, relpath)
+        except SyntaxError as exc:
+            result.diagnostics.append(Diagnostic(
+                rule_id="ENG-001", family="engine", path=relpath,
+                line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            ))
+            return result
+        suppressions = scan_suppressions(source)
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            if not rule.applies_to(relpath):
+                continue
+            if not self.config.rule_enabled(rule.id, rule.family, relpath):
+                continue
+            if rule.id not in result.rules_run:
+                result.rules_run.append(rule.id)
+            for diag in rule.check(ctx):
+                supp = suppressions.get(diag.line)
+                if supp is not None and supp.matches(diag.rule_id, diag.family):
+                    if rule.requires_reason and not supp.reason:
+                        result.diagnostics.append(replace(
+                            diag,
+                            message=diag.message
+                            + " [suppression ignored: no '-- <reason>' given]"))
+                    else:
+                        result.suppressed.append(diag)
+                else:
+                    result.diagnostics.append(diag)
+        return result
+
+    def lint_file(self, path: Path, relpath: str | None = None) -> LintResult:
+        rel = relpath if relpath is not None else self.relpath(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            res = LintResult(files_checked=1)
+            res.diagnostics.append(Diagnostic(
+                rule_id="ENG-002", family="engine", path=rel, line=1, col=0,
+                message=f"unreadable file: {exc}",
+            ))
+            return res
+        return self.lint_source(source, rel)
+
+    # -- whole-tree linting -----------------------------------------------
+
+    def run(self, paths: Sequence[Path], *, lint_as: str | None = None) -> LintResult:
+        """Lint files/trees plus the project-level rules.
+
+        ``lint_as`` overrides the repo-relative path when exactly one file
+        is passed — used by tests and fixtures to place a snippet in an
+        arbitrary rule scope.
+        """
+        total = LintResult()
+        files = list(iter_python_files(paths))
+        if lint_as is not None and len(files) != 1:
+            raise ValueError("--lint-as requires exactly one input file")
+        for path in files:
+            rel = lint_as if lint_as is not None else self.relpath(path)
+            if self.config.excluded(rel):
+                continue
+            res = self.lint_file(path, relpath=rel)
+            total.files_checked += res.files_checked
+            total.diagnostics.extend(res.diagnostics)
+            total.suppressed.extend(res.suppressed)
+            for rid in res.rules_run:
+                if rid not in total.rules_run:
+                    total.rules_run.append(rid)
+        for rule in self.rules:
+            if not isinstance(rule, ProjectRule):
+                continue
+            if not self.config.rule_enabled(rule.id, rule.family):
+                continue
+            total.rules_run.append(rule.id)
+            total.diagnostics.extend(rule.check_project(self.root))
+        total.diagnostics.sort(key=Diagnostic.sort_key)
+        total.rules_run.sort()
+        return total
+
+
+__all__ = ["LintEngine", "LintResult", "iter_python_files", "SKIP_DIRS"]

@@ -1,0 +1,24 @@
+"""Built-in rule families. Importing this package registers every rule.
+
+Third-party/experiment rules can register the same way: subclass
+:class:`repro.analysis.Rule` and decorate with
+:func:`repro.analysis.register` before constructing the engine.
+"""
+
+from repro.analysis.rules import (
+    api_consistency,
+    decode_safety,
+    determinism,
+    numpy_hygiene,
+    obs_coverage,
+    repo_hygiene,
+)
+
+__all__ = [
+    "api_consistency",
+    "decode_safety",
+    "determinism",
+    "numpy_hygiene",
+    "obs_coverage",
+    "repo_hygiene",
+]

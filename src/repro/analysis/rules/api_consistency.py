@@ -1,0 +1,143 @@
+"""API — public-surface consistency rules for package ``__init__`` files.
+
+``__all__`` is the package's published contract: it drives ``from repro
+import *``, doc tooling, and tells pyflakes-level linters which re-exports
+are intentional. These rules keep it present and truthful.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import ModuleContext, Rule, register
+
+INIT_PATHS = ("src/repro/**/__init__.py", "src/repro/__init__.py")
+
+
+def _collect_all(tree: ast.Module) -> tuple[list[tuple[str, ast.AST]], bool]:
+    """(entries, found) for every string literal assigned into __all__."""
+    entries: list[tuple[str, ast.AST]] = []
+    found = False
+
+    def targets(node):
+        if isinstance(node, ast.Assign):
+            return node.targets
+        if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            return [node.target]
+        return []
+
+    for node in tree.body:
+        for tgt in targets(node):
+            if isinstance(tgt, ast.Name) and tgt.id == "__all__":
+                found = True
+                value = getattr(node, "value", None)
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                            entries.append((elt.value, elt))
+    return entries, found
+
+
+def _bound_names(tree: ast.Module) -> set[str]:
+    """Module-level names bound by imports, defs, and assignments."""
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                for sub in ast.walk(tgt):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # names bound on either branch count (conditional imports)
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    for alias in sub.names:
+                        if alias.name != "*":
+                            names.add(alias.asname or alias.name.split(".")[0])
+    return names
+
+
+def _reexports(tree: ast.Module) -> Iterable[tuple[str, ast.AST]]:
+    """Public names introduced by module-level ``from X import Y``."""
+    for node in tree.body:
+        if not isinstance(node, ast.ImportFrom) or node.module == "__future__":
+            continue
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            if not bound.startswith("_"):
+                yield bound, node
+
+
+@register
+class InitHasAll(Rule):
+    id = "API-001"
+    family = "api-consistency"
+    description = "package __init__ without __all__"
+    rationale = ("__all__ is the public-API contract; without it, star "
+                 "imports and doc generators guess, and F401-level linters "
+                 "cannot distinguish re-exports from dead imports")
+    default_paths = INIT_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        _entries, found = _collect_all(ctx.tree)
+        if not found:
+            yield self.diag(ctx, None,
+                            "package __init__ defines no __all__; list the "
+                            "intended public names explicitly")
+
+
+@register
+class AllEntriesExist(Rule):
+    id = "API-002"
+    family = "api-consistency"
+    description = "__all__ names a symbol the module does not define or import"
+    rationale = ("a stale __all__ entry makes `from pkg import *` raise "
+                 "AttributeError and advertises API that does not exist")
+    default_paths = INIT_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        entries, found = _collect_all(ctx.tree)
+        if not found:
+            return
+        bound = _bound_names(ctx.tree)
+        for name, node in entries:
+            if name not in bound:
+                yield self.diag(ctx, node,
+                                f"__all__ lists {name!r} but the module never "
+                                "binds it")
+
+
+@register
+class ReexportsListed(Rule):
+    id = "API-003"
+    family = "api-consistency"
+    description = "public re-export missing from __all__"
+    rationale = ("a from-import in a package __init__ is a deliberate "
+                 "re-export; leaving it out of __all__ makes the public "
+                 "surface drift from the declared one")
+    default_paths = INIT_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        entries, found = _collect_all(ctx.tree)
+        if not found:
+            return  # API-001 already fired
+        declared = {name for name, _ in entries}
+        for name, node in _reexports(ctx.tree):
+            if name not in declared:
+                yield self.diag(ctx, node,
+                                f"{name!r} is re-exported here but missing from "
+                                "__all__; add it or alias it with a leading "
+                                "underscore")

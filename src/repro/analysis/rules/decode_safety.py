@@ -1,0 +1,124 @@
+"""DEC — decode-safety rules.
+
+``docs/ROBUSTNESS.md`` defines the decode exception discipline: decoders
+translate malformed input into ``DECODE_ERRORS`` / ``CorruptStreamError``
+so salvage mode can distinguish "corrupt chunk" from "bug in the codec".
+An ``except`` that swallows arbitrary exceptions inside a decoder hides
+real bugs as corruption; an ``except`` catching exotic types suggests the
+decoder is leaking implementation details instead of raising
+``CorruptStreamError``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import (
+    ModuleContext,
+    Rule,
+    dotted_name,
+    register,
+    walk_functions,
+)
+
+#: Function names treated as decoders. Matches ``decompress*``, ``decode*``
+#: (with optional leading underscore) and ``read_*`` entry points.
+DECODER_NAME = re.compile(r"^_?(decompress|decode)\w*$|^read_\w+$")
+
+#: Exception names decoders may catch: the documented DECODE_ERRORS tuple
+#: members, the tuple itself, CorruptStreamError, and stdlib subclasses of
+#: those members that common decode steps raise.
+ALLOWED_CATCHES = frozenset({
+    "DECODE_ERRORS",
+    "CorruptStreamError",
+    "ValueError", "EOFError", "KeyError", "IndexError", "OverflowError",
+    # ValueError subclasses raised by header/metadata decoding
+    "UnicodeDecodeError", "json.JSONDecodeError", "JSONDecodeError",
+    # struct unpack failures are decode failures
+    "struct.error",
+})
+
+BROAD_CATCHES = frozenset({"Exception", "BaseException"})
+
+
+def _exception_names(node: ast.expr | None) -> list[tuple[ast.AST, str | None]]:
+    """Flatten ``except A`` / ``except (A, B)`` into [(node, dotted-name)]."""
+    if node is None:
+        return [(ast.Constant(value=None), None)]  # bare except
+    if isinstance(node, ast.Tuple):
+        return [(elt, dotted_name(elt)) for elt in node.elts]
+    return [(node, dotted_name(node))]
+
+
+def _iter_decoder_handlers(ctx: ModuleContext):
+    for fn, _ancestors in walk_functions(ctx.tree):
+        if not DECODER_NAME.match(fn.name):
+            continue
+        for node in ast.walk(fn):
+            if isinstance(node, ast.ExceptHandler):
+                yield fn, node
+
+
+@register
+class DecoderCatchDiscipline(Rule):
+    id = "DEC-001"
+    family = "decode-safety"
+    description = "decoder except clause catches a type outside DECODE_ERRORS/CorruptStreamError"
+    rationale = ("salvage mode relies on decoders raising only the documented "
+                 "corruption exceptions; catching anything else in a decoder "
+                 "hides the contract violation instead of fixing the raiser")
+    default_paths = ("src/repro/**",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for fn, handler in _iter_decoder_handlers(ctx):
+            for node, name in _exception_names(handler.type):
+                if name is None and handler.type is None:
+                    continue  # bare except: DEC-002's business
+                if name is None:
+                    yield self.diag(ctx, handler,
+                                    f"decoder {fn.name}() catches a dynamic "
+                                    "exception expression; catch DECODE_ERRORS or "
+                                    "CorruptStreamError explicitly")
+                    continue
+                if name in BROAD_CATCHES:
+                    continue  # DEC-002's business
+                short = name.rsplit(".", 1)[-1]
+                if name not in ALLOWED_CATCHES and short not in ALLOWED_CATCHES:
+                    yield self.diag(
+                        ctx, node if hasattr(node, "lineno") else handler,
+                        f"decoder {fn.name}() catches {name}, which is not in "
+                        "DECODE_ERRORS or CorruptStreamError; make the raising "
+                        "code raise CorruptStreamError instead",
+                        line=getattr(node, "lineno", handler.lineno),
+                        col=getattr(node, "col_offset", handler.col_offset),
+                    )
+
+
+@register
+class DecoderBroadExcept(Rule):
+    id = "DEC-002"
+    family = "decode-safety"
+    description = "bare/broad except inside a decoder function"
+    rationale = ("`except Exception` in a decoder turns codec bugs into "
+                 "'corrupt input'; it is only acceptable at documented "
+                 "boundaries, with a written reason")
+    default_paths = ("src/repro/**",)
+    requires_reason = True
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for fn, handler in _iter_decoder_handlers(ctx):
+            if handler.type is None:
+                yield self.diag(ctx, handler,
+                                f"bare except in decoder {fn.name}(); catch "
+                                "DECODE_ERRORS, or suppress with a reason")
+                continue
+            for node, name in _exception_names(handler.type):
+                if name in BROAD_CATCHES:
+                    yield self.diag(
+                        ctx, handler,
+                        f"decoder {fn.name}() catches {name}; catch DECODE_ERRORS "
+                        "or CorruptStreamError, or suppress with a reason "
+                        "(# repro-lint: disable=DEC-002 -- <why>)")

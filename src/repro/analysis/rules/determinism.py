@@ -1,0 +1,131 @@
+"""DET — determinism rules.
+
+The paper's headline claim (reproducible compression ratios, PAPER.md §V)
+requires the compression pipeline to be a pure function of its inputs.
+These rules ban wall-clock reads, unseeded randomness, and OS entropy
+inside the numeric packages. ``repro.obs`` and the WAN simulator are
+deliberately out of scope: telemetry timestamps and simulated clocks do
+not feed the bitstream.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import ModuleContext, Rule, dotted_name, register
+
+#: Packages whose outputs must be bit-identical across runs.
+DETERMINISTIC_PATHS = (
+    "src/repro/core/**",
+    "src/repro/encoding/**",
+    "src/repro/prediction/**",
+    "src/repro/quantization/**",
+    "src/repro/baselines/**",
+)
+
+WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.localtime", "time.gmtime",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today", "date.today",
+})
+
+#: Legacy global-state RNG entry points: even "seeded" use mutates process
+#: state other call sites observe, so ban the whole namespace here.
+GLOBAL_RNG_CALLS = frozenset({
+    "random.random", "random.randint", "random.randrange", "random.uniform",
+    "random.gauss", "random.normalvariate", "random.choice", "random.choices",
+    "random.sample", "random.shuffle", "random.seed", "random.betavariate",
+    "np.random.rand", "np.random.randn", "np.random.randint",
+    "np.random.random", "np.random.random_sample", "np.random.choice",
+    "np.random.shuffle", "np.random.permutation", "np.random.normal",
+    "np.random.uniform", "np.random.standard_normal", "np.random.seed",
+    "numpy.random.rand", "numpy.random.randn", "numpy.random.randint",
+    "numpy.random.random", "numpy.random.random_sample",
+    "numpy.random.choice", "numpy.random.shuffle",
+    "numpy.random.permutation", "numpy.random.normal",
+    "numpy.random.uniform", "numpy.random.standard_normal",
+    "numpy.random.seed",
+})
+
+#: Constructors that are fine *with* an explicit seed, banned without one.
+SEEDABLE_CTORS = frozenset({
+    "random.Random",
+    "np.random.default_rng", "numpy.random.default_rng",
+    "np.random.RandomState", "numpy.random.RandomState",
+    "np.random.SeedSequence", "numpy.random.SeedSequence",
+})
+
+ENTROPY_CALLS = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbelow", "secrets.choice", "secrets.randbits",
+})
+
+
+def _calls(ctx: ModuleContext):
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None:
+                yield node, name
+
+
+@register
+class BanWallClock(Rule):
+    id = "DET-001"
+    family = "determinism"
+    description = "wall-clock read (time.time / datetime.now) in a deterministic package"
+    rationale = ("compression output must be a pure function of the input; "
+                 "wall-clock values leaking into headers or decisions break "
+                 "bit-identical reproduction")
+    default_paths = DETERMINISTIC_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node, name in _calls(ctx):
+            if name in WALL_CLOCK_CALLS:
+                yield self.diag(ctx, node,
+                                f"call to {name}() in a deterministic package; "
+                                "use a caller-supplied timestamp or repro.utils.Timer "
+                                "(perf_counter) for durations")
+
+
+@register
+class BanUnseededRandom(Rule):
+    id = "DET-002"
+    family = "determinism"
+    description = "unseeded or global-state RNG in a deterministic package"
+    rationale = ("sampling-based stages (autotune block sampling, periodicity "
+                 "probes) must take an explicit seed so identical inputs give "
+                 "identical blobs")
+    default_paths = DETERMINISTIC_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node, name in _calls(ctx):
+            if name in GLOBAL_RNG_CALLS:
+                yield self.diag(ctx, node,
+                                f"global-state RNG call {name}(); use "
+                                "np.random.default_rng(seed) threaded from the caller")
+            elif name in SEEDABLE_CTORS and not node.args and not node.keywords:
+                yield self.diag(ctx, node,
+                                f"{name}() constructed without a seed; pass an "
+                                "explicit seed argument")
+
+
+@register
+class BanEntropySources(Rule):
+    id = "DET-003"
+    family = "determinism"
+    description = "OS entropy source (os.urandom / uuid4 / secrets) in a deterministic package"
+    rationale = ("entropy in ids or payloads makes blobs differ across runs, "
+                 "defeating the differential oracles and determinism tests")
+    default_paths = DETERMINISTIC_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node, name in _calls(ctx):
+            if name in ENTROPY_CALLS:
+                yield self.diag(ctx, node,
+                                f"call to {name}() in a deterministic package; "
+                                "derive ids from content hashes (BLAKE2b) instead")

@@ -1,0 +1,116 @@
+"""NPY — numpy hygiene rules.
+
+Numeric-kernel footguns that have bitten this codebase's hot paths:
+float-literal equality (error-bound comparisons that silently never
+match), allocation without an explicit dtype (platform-dependent default
+widths change the bitstream), and mutable default arguments.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import ModuleContext, Rule, dotted_name, register
+
+NUMERIC_PATHS = (
+    "src/repro/core/**",
+    "src/repro/encoding/**",
+    "src/repro/prediction/**",
+    "src/repro/quantization/**",
+    "src/repro/baselines/**",
+)
+
+#: Hot paths where the array dtype is part of the wire format.
+CODEC_HOT_PATHS = (
+    "src/repro/encoding/**",
+    "src/repro/core/codec.py",
+    "src/repro/core/compressor.py",
+)
+
+ALLOC_CALLS = frozenset({
+    "np.empty", "numpy.empty", "np.zeros", "numpy.zeros",
+    "np.ones", "numpy.ones", "np.empty_like_buffer",
+})
+
+
+@register
+class FloatLiteralEquality(Rule):
+    id = "NPY-001"
+    family = "numpy-hygiene"
+    description = "== / != against a float literal in a numeric kernel"
+    rationale = ("after lossy quantization, exact float comparisons are "
+                 "either dead code or a latent bug; compare against integer "
+                 "codes or use np.isclose/tolerance checks")
+    default_paths = NUMERIC_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            for op, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (node.left, comparator):
+                    if (isinstance(side, ast.Constant)
+                            and isinstance(side.value, float)):
+                        yield self.diag(
+                            ctx, node,
+                            f"exact float comparison against {side.value!r}; "
+                            "use a tolerance (np.isclose) or compare integer "
+                            "quantization codes")
+                        break
+
+
+@register
+class AllocWithoutDtype(Rule):
+    id = "NPY-002"
+    family = "numpy-hygiene"
+    description = "np.empty/np.zeros/np.ones without an explicit dtype in a codec hot path"
+    rationale = ("default float64 allocation silently widens intermediates; "
+                 "in codec paths the dtype is part of the format contract and "
+                 "doubles memory traffic when wrong")
+    default_paths = CODEC_HOT_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name not in ALLOC_CALLS:
+                continue
+            has_kw = any(kw.arg == "dtype" for kw in node.keywords)
+            has_positional = len(node.args) >= 2  # np.zeros(shape, dtype)
+            if not has_kw and not has_positional:
+                yield self.diag(ctx, node,
+                                f"{name}() without an explicit dtype in a codec "
+                                "hot path; spell out dtype= so the wire format "
+                                "does not depend on numpy defaults")
+
+
+@register
+class MutableDefaultArg(Rule):
+    id = "NPY-003"
+    family = "numpy-hygiene"
+    description = "mutable default argument"
+    rationale = ("a shared default list/dict/set/array leaks state between "
+                 "calls — poison for codecs that must be pure functions")
+    default_paths = ("src/repro/**",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set))
+                if not bad and isinstance(default, ast.Call):
+                    name = dotted_name(default.func)
+                    bad = name in {"list", "dict", "set", "bytearray",
+                                   "np.array", "numpy.array"}
+                if bad:
+                    yield self.diag(ctx, default,
+                                    f"mutable default argument in {node.name}(); "
+                                    "default to None and construct inside the body")

@@ -1,0 +1,103 @@
+"""OBS — observability coverage rules.
+
+PR 2's contract: every public codec entry point emits a trace span so
+experiment harnesses can compare codecs straight from telemetry. A new
+baseline added without ``@traced_compress`` / ``@traced_decompress`` is
+invisible in traces and skews cross-codec metric comparisons.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import (
+    ModuleContext,
+    Rule,
+    dotted_name,
+    register,
+    walk_functions,
+)
+
+INSTRUMENTED_PATHS = (
+    "src/repro/core/**",
+    "src/repro/baselines/**",
+)
+
+#: Names that, when used as a decorator or called in the body, prove the
+#: function participates in tracing even without a repro.obs import alias.
+SPAN_ATTR_SUFFIXES = ("span", "traced_compress", "traced_decompress")
+
+
+def _obs_bound_names(tree: ast.Module) -> set[str]:
+    """Local names bound from repro.obs (from-imports, incl. aliases)."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module \
+                and node.module.startswith("repro.obs"):
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == "repro":
+            for alias in node.names:
+                if alias.name == "obs":
+                    names.add(alias.asname or "obs")
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.obs"):
+                    names.add((alias.asname or "repro").split(".")[0])
+    return names
+
+
+def _uses_obs(fn: ast.AST, obs_names: set[str]) -> bool:
+    for node in ast.walk(fn):
+        name = None
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+        elif isinstance(node, (ast.Attribute, ast.Name)):
+            name = dotted_name(node)
+        if name is None:
+            continue
+        root = name.split(".")[0]
+        if root in obs_names:
+            return True
+        if name.rsplit(".", 1)[-1] in SPAN_ATTR_SUFFIXES:
+            return True
+    return False
+
+
+@register
+class CodecEntryPointTraced(Rule):
+    id = "OBS-001"
+    family = "obs-coverage"
+    description = "public compress*/decompress* entry point without a repro.obs span"
+    rationale = ("every codec must emit the standard span + metrics so "
+                 "cross-codec comparisons and the telemetry CI smoke keep "
+                 "seeing the full picture; decorate with @traced_compress/"
+                 "@traced_decompress or open a span in the body")
+    default_paths = INSTRUMENTED_PATHS
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        obs_names = _obs_bound_names(ctx.tree)
+        for fn, ancestors in walk_functions(ctx.tree):
+            if fn.name.startswith("_"):
+                continue
+            if not (fn.name.startswith("compress") or fn.name.startswith("decompress")):
+                continue
+            # nested helpers inherit the outer entry point's span
+            if any(isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                   for a in ancestors):
+                continue
+            decorated = any(
+                (dotted_name(d if not isinstance(d, ast.Call) else d.func) or "")
+                .rsplit(".", 1)[-1] in ("traced_compress", "traced_decompress")
+                for d in fn.decorator_list
+            )
+            if decorated or _uses_obs(fn, obs_names):
+                continue
+            kind = "traced_compress" if fn.name.startswith("compress") \
+                else "traced_decompress"
+            yield self.diag(ctx, fn,
+                            f"codec entry point {fn.name}() has no repro.obs "
+                            f"coverage; add @{kind} or wrap the body in "
+                            "repro.obs.span(...)")

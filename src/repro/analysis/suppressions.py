@@ -1,0 +1,92 @@
+"""Per-line suppression comments.
+
+Syntax (trailing on the offending line, or on a comment-only line
+immediately above it)::
+
+    blob = risky()  # repro-lint: disable=DEC-001
+    # repro-lint: disable=DET-001,DET-003 -- fixture clock, not data-affecting
+    t = time.time()
+
+``disable=`` takes a comma-separated list of rule ids (``DET-001``) or
+whole families (``DET``). Everything after `` -- `` is the human reason;
+rules marked ``requires_reason`` (e.g. broad excepts in decoders) are only
+suppressed when a non-empty reason is present.
+"""
+
+from __future__ import annotations
+
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Za-z0-9_,\- ]+?)"
+    r"(?:\s+--\s*(?P<reason>.*))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int                 # line the suppression applies to (1-based)
+    ids: frozenset[str]       # rule ids and/or family prefixes, upper-cased
+    reason: str = ""
+
+    def matches(self, rule_id: str, family: str) -> bool:
+        # accept the id ("DET-001"), its prefix ("DET"), or the family name
+        return (rule_id.upper() in self.ids
+                or rule_id.upper().split("-")[0] in self.ids
+                or family.upper() in self.ids)
+
+
+def _parse_comment(text: str) -> tuple[frozenset[str], str] | None:
+    m = _SUPPRESS_RE.search(text)
+    if not m:
+        return None
+    ids = frozenset(
+        part.strip().upper() for part in m.group("ids").split(",") if part.strip()
+    )
+    if not ids:
+        return None
+    return ids, (m.group("reason") or "").strip()
+
+
+def scan_suppressions(source: str) -> dict[int, Suppression]:
+    """Map line number -> Suppression for every suppression comment.
+
+    A trailing comment suppresses its own line. A comment-only line
+    suppresses the next line (chains of comment lines all target the
+    first non-comment line below them).
+    """
+    out: dict[int, Suppression] = {}
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        parsed = _parse_comment(tok.string)
+        if parsed is None:
+            continue
+        ids, reason = parsed
+        lineno = tok.start[0]
+        line_text = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        if line_text.strip().startswith("#"):
+            # standalone comment: applies to the first code line below
+            target = lineno + 1
+            while target - 1 < len(lines) and (
+                not lines[target - 1].strip()
+                or lines[target - 1].strip().startswith("#")
+            ):
+                target += 1
+        else:
+            target = lineno
+        out[target] = Suppression(line=target, ids=ids, reason=reason)
+    return out
+
+
+__all__ = ["Suppression", "scan_suppressions"]

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.compressor import resolve_error_bound
 from repro.encoding.container import Container
+from repro.obs import traced_compress, traced_decompress
 from repro.encoding.lz import lz_compress, lz_decompress
 from repro.utils.validation import check_array, check_mask, ensure_float
 
@@ -59,6 +60,7 @@ class BitGrooming:
     codec_name = "bitgroom"
     pointwise_bound = False  # the guarantee is relative-per-value
 
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None,
                  keep_bits: int | None = None) -> bytes:
@@ -82,6 +84,7 @@ class BitGrooming:
         container.add_section("data", lz_compress(groomed.tobytes()))
         return container.to_bytes()
 
+    @traced_decompress
     def decompress(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)
         if container.codec != self.codec_name:

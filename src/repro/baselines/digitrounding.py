@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.core.compressor import resolve_error_bound
 from repro.encoding.container import Container
+from repro.obs import traced_compress, traced_decompress
 from repro.encoding.lz import lz_compress, lz_decompress
 from repro.utils.validation import check_array, check_mask, ensure_float
 
@@ -39,6 +40,7 @@ class DigitRounding:
     codec_name = "digitround"
     pointwise_bound = True
 
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None) -> bytes:
         arr = check_array(data)
@@ -55,6 +57,7 @@ class DigitRounding:
         container.add_section("data", lz_compress(rounded.tobytes()))
         return container.to_bytes()
 
+    @traced_decompress
     def decompress(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)
         if container.codec != self.codec_name:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.compressor import resolve_error_bound
 from repro.encoding.container import Container
+from repro.obs import traced_compress, traced_decompress
 from repro.encoding.lz import lz_compress, lz_decompress
 from repro.encoding.varint import (
     decode_uvarint,
@@ -79,6 +80,7 @@ class TTHRESH:
         self.rmse_fraction = rmse_fraction
 
     # ------------------------------------------------------------------ #
+    @traced_compress
     def compress(self, data: np.ndarray, *, abs_eb: float | None = None,
                  rel_eb: float | None = None, mask: np.ndarray | None = None) -> bytes:
         arr = check_array(data)
@@ -143,6 +145,7 @@ class TTHRESH:
         return container.to_bytes()
 
     # ------------------------------------------------------------------ #
+    @traced_decompress
     def decompress(self, blob: bytes) -> np.ndarray:
         container = Container.from_bytes(blob)
         if container.codec != self.codec_name:

@@ -249,7 +249,12 @@ class AutoTuner:
                     try:
                         blob = CliZ(cfg).compress(sample, abs_eb=eb, mask=sample_mask)
                         ratio = sample.size * 4 / len(blob)  # single-precision convention
-                    except Exception:
+                    except (ValueError, ArithmeticError, NotImplementedError):
+                        # a candidate layout/period combo can be invalid for the
+                        # sample's shape (ValueError) or numerically degenerate
+                        # (ArithmeticError); score it out of the race rather
+                        # than aborting the tune. Anything else is a real bug
+                        # and must propagate.
                         ratio = 0.0
                 trials.append(TrialResult(cfg, ratio, t.elapsed))
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import CliZ, QoZ, SPERR, SZ3, ZFP, AutoTuner, obs
+from repro import QoZ, SPERR, SZ3, ZFP, AutoTuner, obs
 from repro.datasets import ClimateField
 from repro.metrics import RatePoint, bit_rate, compression_ratio, psnr, ssim
 

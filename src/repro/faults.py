@@ -39,7 +39,7 @@ Example: ``seed=42;crash:p=0.3;bitflip:p=1:n=2;outage:at=5:dur=2``.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -57,7 +57,6 @@ from repro import obs
 from repro.encoding.container import (
     Container,
     CorruptStreamError,
-    DECODE_ERRORS,
     SalvageReport,
 )
 from repro.faults import FaultInjectedError, FaultInjector, JobFaults, parse_fault_spec
@@ -257,7 +256,10 @@ def _run_serial(fn, payloads, directives, policy: RetryPolicy) -> list[JobResult
             try:
                 value = _run_attempt(fn, payload, directives[i], attempt,
                                      policy.timeout, in_worker=False)
-            except Exception as exc:  # noqa: BLE001 - structured error capture
+            # job boundary: ANY failure must become a JobResult record (or a
+            # retry) so one bad chunk cannot abort its siblings; narrowing
+            # this catch would turn unexpected errors into lost work.
+            except Exception as exc:  # noqa: BLE001
                 if isinstance(exc, TimeoutError):
                     obs.inc_counter("parallel.timeouts")
                 if attempt > policy.retries:
@@ -336,7 +338,11 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
                         requeue_or_fail(i, attempt, None,
                                         "worker process died (BrokenProcessPool)",
                                         count_retry=False)
-                    except Exception as exc:  # noqa: BLE001 - structured error capture
+                    # same job-boundary contract as _run_serial: the future's
+                    # exception (whatever its type — pickled worker error,
+                    # timeout, codec bug) is recorded or retried, never raised
+                    # past the dispatcher while other jobs are in flight.
+                    except Exception as exc:  # noqa: BLE001
                         if isinstance(exc, TimeoutError):
                             obs.inc_counter("parallel.timeouts")
                         requeue_or_fail(i, attempt, exc)

@@ -1,0 +1,7 @@
+"""Known-bad package __init__: no __all__ at all (API-001)."""
+
+from json import dumps, loads
+
+
+def helper():
+    return dumps(loads("{}"))

@@ -1,0 +1,5 @@
+"""Known-bad package __init__: __all__ advertises a ghost (API-002)."""
+
+from json import dumps
+
+__all__ = ["dumps", "loads_that_never_existed"]   # API-002

@@ -1,0 +1,5 @@
+"""Known-bad package __init__: re-export not listed in __all__ (API-003)."""
+
+from json import dumps, loads
+
+__all__ = ["dumps"]                               # loads missing: API-003

@@ -1,0 +1,12 @@
+"""Known-good package __init__: __all__ present and truthful."""
+
+from json import dumps as _dumps
+from json import loads
+
+CONSTANT = 7
+
+__all__ = ["loads", "CONSTANT", "public"]
+
+
+def public():
+    return _dumps({})

@@ -1,0 +1,19 @@
+"""Known-bad: broad excepts inside decoder functions (DEC-002)."""
+
+
+def decompress(blob: bytes):
+    try:
+        return _parse(blob)
+    except Exception:                        # DEC-002: swallows codec bugs
+        return None
+
+
+def decode_header(blob: bytes):
+    try:
+        return blob[:4]
+    except:                                  # DEC-002: bare except
+        return b""
+
+
+def _parse(blob):
+    return blob

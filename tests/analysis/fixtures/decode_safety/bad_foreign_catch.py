@@ -1,0 +1,15 @@
+"""Known-bad: decoder catches a type outside DECODE_ERRORS (DEC-001)."""
+
+
+def decode_payload(blob: bytes):
+    try:
+        return memoryview(blob)
+    except RuntimeError:                     # DEC-001: not a decode error
+        return None
+
+
+def read_stream(fh):
+    try:
+        return fh.read()
+    except (TypeError, AttributeError):      # DEC-001 twice
+        return b""

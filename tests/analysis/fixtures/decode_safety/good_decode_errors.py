@@ -1,0 +1,27 @@
+"""Known-good: decoders catching only the documented corruption types."""
+
+DECODE_ERRORS = (ValueError, EOFError, KeyError, IndexError, OverflowError)
+
+
+class CorruptStreamError(ValueError):
+    pass
+
+
+def decompress(blob: bytes):
+    try:
+        return _parse(blob)
+    except DECODE_ERRORS as exc:
+        raise CorruptStreamError(str(exc)) from exc
+
+
+def decode_section(blob: bytes):
+    try:
+        return blob[4:]
+    except (ValueError, EOFError):
+        raise CorruptStreamError("truncated section") from None
+    except CorruptStreamError:
+        raise
+
+
+def _parse(blob):
+    return blob

@@ -1,0 +1,9 @@
+"""Known-bad: OS entropy sources (DET-003)."""
+
+import os
+import uuid
+
+
+def make_run_id() -> str:
+    salt = os.urandom(8)                     # DET-003
+    return uuid.uuid4().hex + salt.hex()     # DET-003

@@ -1,0 +1,12 @@
+"""Known-bad: unseeded / global-state RNG (DET-002)."""
+
+import random
+
+import numpy as np
+
+
+def jitter(block):
+    noise = np.random.rand(*block.shape)     # DET-002: legacy global RNG
+    rng = np.random.default_rng()            # DET-002: no seed
+    pick = random.choice([1, 2, 3])          # DET-002: global random module
+    return block + noise, rng, pick

@@ -1,0 +1,10 @@
+"""Known-bad: wall-clock reads inside a deterministic package (DET-001)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_header(header: dict) -> dict:
+    header["created"] = time.time()          # DET-001
+    header["pretty"] = datetime.now()        # DET-001
+    return header

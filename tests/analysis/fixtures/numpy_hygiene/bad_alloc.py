@@ -1,0 +1,9 @@
+"""Known-bad: dtype-less allocation in a codec hot path (NPY-002)."""
+
+import numpy as np
+
+
+def scratch(n: int):
+    buf = np.zeros(n)                        # NPY-002: defaults to float64
+    tmp = np.empty((n, 2))                   # NPY-002
+    return buf, tmp

@@ -1,0 +1,8 @@
+"""Known-bad: exact float comparisons in a numeric kernel (NPY-001)."""
+
+
+def classify(residual, fill):
+    hits = residual == 0.5                   # NPY-001
+    if fill != 1e-3:                         # NPY-001
+        hits = ~hits
+    return hits

@@ -1,0 +1,11 @@
+"""Known-bad: mutable default arguments (NPY-003)."""
+
+
+def accumulate(value, into=[]):              # NPY-003
+    into.append(value)
+    return into
+
+
+def tag(name, registry={}):                  # NPY-003
+    registry[name] = True
+    return registry

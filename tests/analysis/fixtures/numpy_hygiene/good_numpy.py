@@ -1,0 +1,17 @@
+"""Known-good: explicit dtypes, tolerance compares, None defaults."""
+
+import numpy as np
+
+
+def scratch(n: int, into=None):
+    if into is None:
+        into = []
+    buf = np.zeros(n, dtype=np.uint8)
+    tmp = np.empty((n, 2), dtype=np.float32)
+    into.append(buf)
+    return buf, tmp, into
+
+
+def classify(residual, quantum):
+    codes = np.rint(residual / quantum).astype(np.int64)
+    return codes == 0, np.isclose(residual, 0.0, atol=quantum)

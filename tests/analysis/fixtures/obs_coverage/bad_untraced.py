@@ -1,0 +1,11 @@
+"""Known-bad: codec entry points without any repro.obs coverage (OBS-001)."""
+
+
+class ToyCodec:
+    codec_name = "toy"
+
+    def compress(self, data, *, abs_eb=None):        # OBS-001
+        return bytes(len(data))
+
+    def decompress(self, blob):                      # OBS-001
+        return list(blob)

@@ -1,0 +1,25 @@
+"""Known-good: decorated entry points and an explicit in-body span."""
+
+from repro.obs import span, traced_compress, traced_decompress
+
+
+class ToyCodec:
+    codec_name = "toy"
+
+    @traced_compress
+    def compress(self, data, *, abs_eb=None):
+        return bytes(len(data))
+
+    @traced_decompress
+    def decompress(self, blob):
+        return list(blob)
+
+
+def compress_many(arrays):
+    with span("compress_many", n=len(arrays)):
+        return [bytes(len(a)) for a in arrays]
+
+
+def _compress_block(block):
+    # private helper: inherits the caller's span, exempt by convention
+    return bytes(len(block))

@@ -1,0 +1,114 @@
+"""CLI behaviour and the meta-invariant: the repo's own tree lints clean,
+so CI greenness and the lint baseline can never drift apart."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import LintEngine, all_rules, load_config
+from repro.analysis.cli import main as lint_main
+
+ROOT = Path(__file__).parents[2]
+FIXTURES = ROOT / "tests/analysis/fixtures"
+
+
+def test_repo_tree_is_lint_clean():
+    """`repro-lint src tests` on the current tree must exit 0."""
+    engine = LintEngine(config=load_config(ROOT / "pyproject.toml"), root=ROOT)
+    result = engine.run([ROOT / "src", ROOT / "tests"])
+    assert result.diagnostics == [], "\n".join(
+        d.format_text() for d in result.diagnostics)
+    assert result.exit_code == 0
+    assert result.files_checked > 100  # sanity: it actually walked the tree
+
+
+def test_hyg001_fires_on_tracked_bytecode(tmp_path):
+    """True positive for the project-level rule: a committed .pyc fails."""
+    import os
+    env = {**os.environ, "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+           "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"}
+
+    def git(*args):
+        return subprocess.run(["git", *args], cwd=tmp_path, env=env,
+                              capture_output=True, text=True)
+
+    if git("init").returncode != 0:
+        return  # git unavailable
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "mod.cpython-311.pyc").write_bytes(b"\0")
+    (tmp_path / "stale.pyc").write_bytes(b"\0")
+    git("add", "-f", ".")
+    from repro.analysis import LintConfig
+    result = LintEngine(config=LintConfig(), root=tmp_path).run([tmp_path])
+    hits = [d for d in result.diagnostics if d.rule_id == "HYG-001"]
+    assert len(hits) == 2
+    assert result.exit_code == 1
+
+
+def test_no_bytecode_tracked_by_git():
+    proc = subprocess.run(["git", "ls-files"], cwd=ROOT,
+                          capture_output=True, text=True)
+    if proc.returncode != 0:
+        return  # not a git checkout
+    bad = [p for p in proc.stdout.splitlines()
+           if "__pycache__" in p or p.endswith((".pyc", ".pyo"))]
+    assert bad == []
+
+
+def test_module_entry_point_runs():
+    """`python -m repro.analysis` is the CI invocation; smoke it end-to-end."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src", "tests",
+         "--format", "json"],
+        cwd=ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["summary"]["total"] == 0
+
+
+def test_list_rules_covers_catalogue(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in all_rules():
+        assert rule.id in out
+    for family in ("DET-", "DEC-", "NPY-", "OBS-", "API-", "HYG-"):
+        assert family in out
+
+
+def test_unknown_rule_exits_2(capsys):
+    assert lint_main(["--select", "NOPE-999", str(FIXTURES)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_exits_2(capsys):
+    assert lint_main(["definitely/not/here.py"]) == 2
+
+
+def test_lint_as_requires_single_file(capsys):
+    assert lint_main([str(FIXTURES / "determinism"),
+                      "--lint-as", "src/repro/core/x.py", "--no-config"]) == 2
+
+
+def test_json_output_file(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    code = lint_main([
+        str(FIXTURES / "determinism/bad_wallclock.py"),
+        "--lint-as", "src/repro/core/stamp.py", "--no-config",
+        "--disable", "HYG",
+        "--format", "json", "--output", str(out),
+    ])
+    assert code == 1
+    payload = json.loads(out.read_text())
+    assert payload["summary"]["by_rule"] == {"DET-001": 2}
+
+
+def test_select_narrows_rules(capsys):
+    code = lint_main([
+        str(FIXTURES / "determinism/bad_wallclock.py"),
+        "--lint-as", "src/repro/core/stamp.py", "--no-config",
+        "--select", "NPY",
+    ])
+    assert code == 0  # DET rules deselected, nothing else fires

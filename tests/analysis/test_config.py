@@ -1,0 +1,66 @@
+"""[tool.repro-lint] config parsing, path matching, and scoping."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, LintEngine, load_config
+from repro.analysis.config import match_path, parse_config
+
+ROOT = Path(__file__).parents[2]
+
+
+def test_match_path_double_star():
+    assert match_path("src/repro/core/x.py", "src/repro/core/**")
+    assert match_path("src/repro/core/deep/x.py", "src/repro/core/**")
+    assert not match_path("src/repro/obs/x.py", "src/repro/core/**")
+    assert match_path("src/repro/__init__.py", "src/repro/__init__.py")
+
+
+def test_parse_config_full_table():
+    cfg = parse_config({
+        "select": ["DET"],
+        "disable": ["DET-003"],
+        "exclude": ["tests/analysis/fixtures/**"],
+        "overrides": [
+            {"paths": ["src/repro/transfer/**"], "disable": ["DET"]},
+        ],
+    })
+    assert cfg.rule_enabled("DET-001", "determinism", "src/repro/core/x.py")
+    assert not cfg.rule_enabled("DET-003", "determinism", "src/repro/core/x.py")
+    assert not cfg.rule_enabled("NPY-001", "numpy-hygiene", "src/repro/core/x.py")
+    assert not cfg.rule_enabled("DET-001", "determinism", "src/repro/transfer/x.py")
+    assert cfg.excluded("tests/analysis/fixtures/determinism/bad_wallclock.py")
+
+
+def test_parse_config_rejects_bad_types():
+    with pytest.raises(ValueError):
+        parse_config({"select": "DET"})
+    with pytest.raises(ValueError):
+        parse_config({"overrides": [{"disable": ["DET"]}]})
+
+
+def test_load_config_missing_file_is_default():
+    cfg = load_config(Path("/nonexistent/pyproject.toml"))
+    assert cfg.select == [] and cfg.disable == []
+
+
+def test_repo_pyproject_excludes_fixture_corpus():
+    cfg = load_config(ROOT / "pyproject.toml")
+    assert cfg.excluded("tests/analysis/fixtures/determinism/bad_wallclock.py")
+
+
+def test_engine_honours_exclude():
+    cfg = LintConfig(exclude=["tests/analysis/fixtures/**"])
+    engine = LintEngine(config=cfg, root=ROOT)
+    fixture = ROOT / "tests/analysis/fixtures/determinism/bad_wallclock.py"
+    result = engine.run([fixture])
+    assert result.files_checked == 0
+
+
+def test_config_disable_beats_default_scope():
+    cfg = LintConfig(disable=["OBS-001"])
+    engine = LintEngine(config=cfg, root=ROOT)
+    fixture = ROOT / "tests/analysis/fixtures/obs_coverage/bad_untraced.py"
+    result = engine.run([fixture], lint_as="src/repro/baselines/toy.py")
+    assert not any(d.rule_id == "OBS-001" for d in result.diagnostics)
