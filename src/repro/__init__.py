@@ -16,11 +16,16 @@ Quick start::
     data = np.fromfile("field.f32", dtype=np.float32).reshape(26, 180, 360)
     blob = CliZ().compress(data, rel_eb=1e-3)
     recon = decompress(blob)          # routes on the embedded codec tag
+
+All codec exports resolve lazily (PEP 562): importing ``repro`` itself —
+or a stdlib-only subpackage such as :mod:`repro.analysis` — never pulls in
+numpy, so ``repro-lint`` can run in environments without the scientific
+stack installed.
 """
 
-from repro.baselines import BitGrooming, DigitRounding, QoZ, SPERR, SZ2, SZ3, TTHRESH, ZFP
-from repro.core import AutoTuner, CliZ, Layout, PipelineConfig
-from repro.encoding.container import Container
+from __future__ import annotations
+
+import importlib
 
 __version__ = "1.0.0"
 
@@ -43,30 +48,79 @@ __all__ = [
     "COMPRESSORS",
 ]
 
-#: Registry of available compressors by codec name.
-COMPRESSORS = {
-    "cliz": CliZ,
-    "sz3": SZ3,
-    "sz2": SZ2,
-    "qoz": QoZ,
-    "zfp": ZFP,
-    "sperr": SPERR,
-    "tthresh": TTHRESH,
-    "bitgroom": BitGrooming,
-    "digitround": DigitRounding,
+#: Lazily resolved public symbols: name -> (defining module, attribute).
+_LAZY_EXPORTS = {
+    "CliZ": ("repro.core", "CliZ"),
+    "AutoTuner": ("repro.core", "AutoTuner"),
+    "PipelineConfig": ("repro.core", "PipelineConfig"),
+    "Layout": ("repro.core", "Layout"),
+    "SZ3": ("repro.baselines", "SZ3"),
+    "SZ2": ("repro.baselines", "SZ2"),
+    "QoZ": ("repro.baselines", "QoZ"),
+    "ZFP": ("repro.baselines", "ZFP"),
+    "SPERR": ("repro.baselines", "SPERR"),
+    "TTHRESH": ("repro.baselines", "TTHRESH"),
+    "BitGrooming": ("repro.baselines", "BitGrooming"),
+    "DigitRounding": ("repro.baselines", "DigitRounding"),
+    "Container": ("repro.encoding.container", "Container"),
 }
+
+#: Registry of available compressors: codec name -> exported class name.
+#: Materialized into ``COMPRESSORS`` (codec name -> class) on first access.
+_CODEC_NAMES = {
+    "cliz": "CliZ",
+    "sz3": "SZ3",
+    "sz2": "SZ2",
+    "qoz": "QoZ",
+    "zfp": "ZFP",
+    "sperr": "SPERR",
+    "tthresh": "TTHRESH",
+    "bitgroom": "BitGrooming",
+    "digitround": "DigitRounding",
+}
+
+
+def _resolve(name: str):
+    module, attr = _LAZY_EXPORTS[name]
+    value = getattr(importlib.import_module(module), attr)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def _compressors() -> dict:
+    registry = globals().get("COMPRESSORS")
+    if registry is None:
+        registry = {codec: _resolve(cls) for codec, cls in _CODEC_NAMES.items()}
+        globals()["COMPRESSORS"] = registry
+    return registry
+
+
+def __getattr__(name: str):
+    if name == "COMPRESSORS":
+        return _compressors()
+    if name in _LAZY_EXPORTS:
+        return _resolve(name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))
 
 
 def compressor_for(name: str):
     """Instantiate a compressor by codec name (``'cliz'``, ``'sz3'``, ...)."""
     try:
-        return COMPRESSORS[name.lower()]()
+        return _compressors()[name.lower()]()
     except KeyError:
-        raise ValueError(f"unknown codec {name!r}; available: {sorted(COMPRESSORS)}") from None
+        raise ValueError(
+            f"unknown codec {name!r}; available: {sorted(_CODEC_NAMES)}"
+        ) from None
 
 
 def decompress(blob: bytes):
     """Decompress any blob produced by this package (routes on codec tag)."""
+    from repro.encoding.container import Container
+
     codec = Container.peek_codec(blob)
     if codec == "chunked":
         from repro.parallel import decompress_chunked

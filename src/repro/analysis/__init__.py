@@ -4,7 +4,10 @@ The reproduction's load-bearing conventions — bit-identical determinism
 (PAPER.md §V), the ``DECODE_ERRORS`` decode-safety discipline
 (docs/ROBUSTNESS.md), and full trace-span coverage of codec entry points
 (docs/OBSERVABILITY.md) — are enforced mechanically here instead of by
-reviewer folklore. Pure stdlib, no numpy import at lint time.
+reviewer folklore. Pure stdlib, no numpy import at lint time: the parent
+``repro`` package lazy-loads its codec exports (PEP 562), so importing
+``repro.analysis`` works on a bare interpreter (CI's lint job relies on
+this and deliberately installs nothing).
 
 Run it::
 

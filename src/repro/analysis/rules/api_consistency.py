@@ -68,6 +68,15 @@ def _bound_names(tree: ast.Module) -> set[str]:
     return names
 
 
+def _has_module_getattr(tree: ast.Module) -> bool:
+    """True if the module defines a top-level ``__getattr__`` (PEP 562)."""
+    return any(
+        isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and node.name == "__getattr__"
+        for node in tree.body
+    )
+
+
 def _reexports(tree: ast.Module) -> Iterable[tuple[str, ast.AST]]:
     """Public names introduced by module-level ``from X import Y``."""
     for node in tree.body:
@@ -111,6 +120,10 @@ class AllEntriesExist(Rule):
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
         entries, found = _collect_all(ctx.tree)
         if not found:
+            return
+        if _has_module_getattr(ctx.tree):
+            # PEP 562: a module-level __getattr__ resolves names dynamically
+            # (lazy exports), so statically-unbound __all__ entries are fine.
             return
         bound = _bound_names(ctx.tree)
         for name, node in entries:

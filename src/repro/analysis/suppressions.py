@@ -85,6 +85,11 @@ def scan_suppressions(source: str) -> dict[int, Suppression]:
                 target += 1
         else:
             target = lineno
+        existing = out.get(target)
+        if existing is not None:
+            # stacked comments targeting the same code line accumulate
+            ids = ids | existing.ids
+            reason = "; ".join(r for r in (existing.reason, reason) if r)
         out[target] = Suppression(line=target, ids=ids, reason=reason)
     return out
 

@@ -249,12 +249,16 @@ class AutoTuner:
                     try:
                         blob = CliZ(cfg).compress(sample, abs_eb=eb, mask=sample_mask)
                         ratio = sample.size * 4 / len(blob)  # single-precision convention
-                    except (ValueError, ArithmeticError, NotImplementedError):
-                        # a candidate layout/period combo can be invalid for the
-                        # sample's shape (ValueError) or numerically degenerate
-                        # (ArithmeticError); score it out of the race rather
-                        # than aborting the tune. Anything else is a real bug
-                        # and must propagate.
+                    except (ValueError, ArithmeticError, LookupError,
+                            NotImplementedError):
+                        # a candidate layout/period combo can be invalid for
+                        # the sample's shape (ValueError), reference an axis
+                        # the sample does not have (IndexError), or be
+                        # numerically degenerate (ArithmeticError); score it
+                        # out of the race rather than aborting the tune.
+                        # Anything else (TypeError, ...) is a real bug and
+                        # must propagate. tests/core/test_autotune.py pins
+                        # this tuple against the known failure modes.
                         ratio = 0.0
                 trials.append(TrialResult(cfg, ratio, t.elapsed))
 

@@ -1,0 +1,22 @@
+"""Good: PEP 562 lazy exports — __all__ names resolved by __getattr__.
+
+API-002 must not flag 'Codec'/'tune' as unbound: a module-level
+__getattr__ makes them importable even though nothing binds them
+statically (this is exactly how src/repro/__init__.py avoids importing
+numpy at lint time).
+"""
+
+import importlib
+
+__all__ = ["Codec", "tune", "VERSION"]
+
+VERSION = "1.0"
+
+_LAZY = {"Codec": ("pkg.codec", "Codec"), "tune": ("pkg.tuner", "tune")}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        module, attr = _LAZY[name]
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(name)

@@ -49,6 +49,7 @@ GOOD_CORPUS = [
     ("numpy_hygiene/good_numpy.py", "src/repro/encoding/scratch.py"),
     ("obs_coverage/good_traced.py", "src/repro/baselines/toy.py"),
     ("api_consistency/good_init.py", "src/repro/toy/__init__.py"),
+    ("api_consistency/good_lazy_getattr.py", "src/repro/toy/__init__.py"),
 ]
 
 

@@ -81,6 +81,30 @@ def test_multiple_ids_one_comment():
     assert len(res.suppressed) == 2
 
 
+def test_stacked_standalone_comments_merge():
+    # two separate disable comments above one line must both apply
+    src = ("import time, os\n\ndef f():\n"
+           "    # repro-lint: disable=DET-001 -- fixture clock\n"
+           "    # repro-lint: disable=DET-003 -- nonce, not data-affecting\n"
+           "    return time.time(), os.urandom(4)\n")
+    res = _lint(src, "src/repro/core/x.py")
+    assert res.diagnostics == []
+    assert {d.rule_id for d in res.suppressed} == {"DET-001", "DET-003"}
+    supp = scan_suppressions(src)
+    assert supp[6].ids == frozenset({"DET-001", "DET-003"})
+    assert supp[6].reason == "fixture clock; nonce, not data-affecting"
+
+
+def test_stacked_plus_trailing_comment_merge():
+    src = ("import time, os\n\ndef f():\n"
+           "    # repro-lint: disable=DET-001\n"
+           "    return time.time(), os.urandom(4)"
+           "  # repro-lint: disable=DET-003\n")
+    res = _lint(src, "src/repro/core/x.py")
+    assert res.diagnostics == []
+    assert {d.rule_id for d in res.suppressed} == {"DET-001", "DET-003"}
+
+
 def test_comment_chain_targets_first_code_line():
     src = ("import time\n\ndef f():\n"
            "    # repro-lint: disable=DET-001 -- why\n"

@@ -105,3 +105,54 @@ class TestTuner:
     def test_bad_rate_rejected(self):
         with pytest.raises(ValueError):
             AutoTuner(sampling_rate=0.0)
+
+
+class TestDegenerateCandidates:
+    """Regression guard for the narrowed candidate-evaluation catch.
+
+    ``AutoTuner.tune`` scores a failing candidate out of the race by
+    catching ``(ValueError, ArithmeticError, LookupError,
+    NotImplementedError)``. These tests pin the exception types that
+    known-invalid layout/period combos actually raise to members of that
+    tuple, so narrowing it further would fail here instead of aborting
+    tunes in the field.
+    """
+
+    CAUGHT = (ValueError, ArithmeticError, LookupError, NotImplementedError)
+
+    def test_known_invalid_combos_raise_within_caught_tuple(self):
+        from repro.core import Layout, PipelineConfig
+
+        data = field(nlat=8, nlon=6, nt=24).astype(np.float32)
+        bad = [
+            # layout dimensionality does not match the data
+            PipelineConfig(layout=Layout.identity(2)),
+            # periodic extraction along an axis the data does not have
+            PipelineConfig(layout=Layout.identity(3), periodic=True,
+                           time_axis=7, period=12),
+            # bin classification over out-of-range horizontal axes
+            PipelineConfig(layout=Layout.identity(3), binclass=True,
+                           horiz_axes=(5, 6)),
+        ]
+        for cfg in bad:
+            with pytest.raises(self.CAUGHT):
+                CliZ(cfg).compress(data, abs_eb=1e-3)
+
+    def test_tune_scores_degenerate_candidate_out_of_race(self, monkeypatch):
+        from repro.core import Layout, PipelineConfig
+
+        data = field(nlat=18, nlon=16, nt=48)
+        real = AutoTuner.candidate_pipelines
+
+        def with_bad_candidate(self, ndim, period):
+            bad = PipelineConfig(layout=Layout.identity(ndim - 1))
+            return [bad] + real(self, ndim, period)
+
+        monkeypatch.setattr(AutoTuner, "candidate_pipelines", with_bad_candidate)
+        tuner = AutoTuner(sampling_rate=0.05, max_layouts=2,
+                          fittings=("linear",), try_binclass=False,
+                          try_periodic=False)
+        res = tuner.tune(data, abs_eb=1e-3)
+        assert res.trials[0].est_ratio == 0.0          # scored out, not fatal
+        assert res.best.layout.ndim_in == data.ndim    # a valid config won
+        assert max(t.est_ratio for t in res.trials) > 0
