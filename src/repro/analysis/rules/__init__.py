@@ -9,6 +9,7 @@ from repro.analysis.rules import (
     api_consistency,
     decode_safety,
     determinism,
+    durability,
     numpy_hygiene,
     obs_coverage,
     repo_hygiene,
@@ -18,6 +19,7 @@ __all__ = [
     "api_consistency",
     "decode_safety",
     "determinism",
+    "durability",
     "numpy_hygiene",
     "obs_coverage",
     "repo_hygiene",

@@ -1,0 +1,87 @@
+"""DUR — durability rules.
+
+PR 5's contract: every artifact the toolkit writes (compressed blobs,
+RCDF containers, reports, configs, telemetry exports) is committed with
+:func:`repro.runtime.atomic_write` — temp file in the same directory,
+fsync, atomic rename — so a crash mid-write leaves the old file or the
+new file, never a torn hybrid that a later read misdiagnoses as
+corruption. A bare ``open(path, "wb")`` in an artifact-writing module
+silently reintroduces that hazard.
+
+Append-mode opens are exempt: append journaling (JSONL sinks, the run
+ledger) is the *other* sanctioned durability pattern — its torn-tail
+healing lives in :func:`repro.runtime.heal_jsonl_tail`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import ModuleContext, Rule, dotted_name, register
+
+#: Modules whose writes are user-visible artifacts (crash-consistency
+#: contract). repro/runtime itself is excluded by construction: it is the
+#: layer that implements the primitive.
+ARTIFACT_WRITER_PATHS = (
+    "src/repro/cli.py",
+    "src/repro/io/**",
+    "src/repro/experiments/**",
+    "src/repro/obs/sinks.py",
+)
+
+#: Path/file helpers that replace a file's contents in place.
+REPLACING_METHODS = ("write_text", "write_bytes")
+
+
+def _write_mode(call: ast.Call) -> str | None:
+    """The mode string of an ``open``-style call if it truncates/creates."""
+    mode_node = None
+    if len(call.args) >= 2:
+        mode_node = call.args[1]
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            mode_node = kw.value
+    if mode_node is None:
+        return None  # default mode "r"
+    if not isinstance(mode_node, ast.Constant) or not isinstance(mode_node.value, str):
+        return None  # dynamic mode: not statically checkable
+    mode = mode_node.value
+    if any(c in mode for c in "wx") and "a" not in mode:
+        return mode
+    return None
+
+
+@register
+class ArtifactWritesAreAtomic(Rule):
+    id = "DUR-001"
+    family = "durability"
+    description = "bare open(.., 'w'/'wb') artifact write outside repro.runtime.atomic_write"
+    rationale = ("a crash mid-write leaves a torn artifact that later reads "
+                 "as CorruptStreamError/JSONDecodeError with no hint it was "
+                 "a local torn write; route the write through "
+                 "repro.runtime.atomic_write (or append via a healed JSONL "
+                 "journal) so every commit is all-or-nothing")
+    default_paths = ARTIFACT_WRITER_PATHS
+    requires_reason = True
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name == "open" or (name is not None and name.endswith(".open")):
+                mode = _write_mode(node)
+                if mode is not None:
+                    yield self.diag(ctx, node,
+                                    f"plain open(..., {mode!r}) writes an "
+                                    "artifact non-atomically; use "
+                                    "repro.runtime.atomic_write so a crash "
+                                    "cannot leave a torn file")
+            elif isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in REPLACING_METHODS:
+                yield self.diag(ctx, node,
+                                f".{node.func.attr}() replaces file contents "
+                                "non-atomically; use repro.runtime.atomic_write "
+                                "so a crash cannot leave a torn file")

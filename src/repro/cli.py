@@ -9,6 +9,7 @@ tune          run the CliZ auto-tuner and print the winning pipeline
 assess        quality report: original vs reconstructed (Z-checker style)
 dataset       generate one of the synthetic Table-III datasets
 experiment    run one of the paper's experiment harnesses
+sweep         kill-resumable experiment sweep (crash-consistent ledger)
 codecs        list registered codecs
 
 Examples
@@ -120,8 +121,9 @@ def cmd_compress(args) -> int:
             kwargs["mask"] = mask
         blob = comp.compress(data, **kwargs)
     _obs_end(args, run)
-    with open(args.output, "wb") as fh:
-        fh.write(blob)
+    from repro.runtime import atomic_write
+
+    atomic_write(args.output, blob)
     ratio = data.size * 4 / len(blob)
     print(f"{args.input} -> {args.output}: {len(blob)} bytes "
           f"(CR {ratio:.2f}x vs 32-bit)")
@@ -155,8 +157,10 @@ def cmd_decompress(args) -> int:
             retry_backoff=args.retry_backoff)
         print(report.summary(), file=sys.stderr)
         if args.salvage_report:
-            with open(args.salvage_report, "w") as fh:
-                json.dump(report.to_dict(), fh, indent=2)
+            from repro.runtime import atomic_write
+
+            atomic_write(args.salvage_report,
+                         json.dumps(report.to_dict(), indent=2))
             print(f"salvage report -> {args.salvage_report}", file=sys.stderr)
     else:
         data = decompress(blob)
@@ -197,8 +201,9 @@ def cmd_tune(args) -> int:
     for trial in result.sorted_trials()[:5]:
         print(f"  est CR {trial.est_ratio:8.2f}  {trial.name}")
     if args.save_config:
-        with open(args.save_config, "w") as fh:
-            json.dump(result.best.to_dict(), fh, indent=2)
+        from repro.runtime import atomic_write
+
+        atomic_write(args.save_config, json.dumps(result.best.to_dict(), indent=2))
         print(f"saved    : {args.save_config}")
     return 0
 
@@ -250,6 +255,12 @@ def cmd_experiment(args) -> int:
     module.run().print()
     _obs_end(args, run)
     return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.experiments import sweep
+
+    return sweep.run_from_args(args)
 
 
 def cmd_codecs(args) -> int:
@@ -354,6 +365,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     add_obs(p)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser(
+        "sweep",
+        help="kill-resumable experiment sweep (journaled ledger + --resume)")
+    from repro.experiments.sweep import add_arguments as _add_sweep_args
+
+    _add_sweep_args(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("codecs", help="list registered codecs")
     p.set_defaults(func=cmd_codecs)

@@ -25,12 +25,38 @@ interactions              extension: strategy interaction matrix
 ========================  =============================================
 
 Each module exposes ``run(...) -> ExperimentResult`` and is runnable as a
-script (``python -m repro.experiments.<module>``).
+script (``python -m repro.experiments.<module>``). The sweep driver
+(:mod:`repro.experiments.sweep`, ``python -m repro.experiments.sweep``)
+runs grids of cells across these harnesses under a crash-consistent run
+ledger with ``--resume`` support.
+
+``ExperimentResult``/``format_table`` resolve lazily (PEP 562) so that
+importing this package — e.g. for the sweep CLI's argument schema — does
+not pull in the numpy codec stack.
 """
 
-from repro.experiments.common import ExperimentResult, format_table
-
 __all__ = ["ExperimentResult", "format_table", "ALL_EXPERIMENTS"]
+
+_LAZY_EXPORTS = {
+    "ExperimentResult": ("repro.experiments.common", "ExperimentResult"),
+    "format_table": ("repro.experiments.common", "format_table"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module), attr)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))
 
 #: module name -> short description, for the run-everything example.
 ALL_EXPERIMENTS = {

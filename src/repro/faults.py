@@ -15,7 +15,8 @@ Fault spec grammar (the CLI's ``--inject-faults`` argument)::
     spec    := clause (';' clause)*
     clause  := 'seed=' INT
              | KIND (':' key '=' value)*
-    KIND    := 'crash' | 'slow' | 'bitflip' | 'truncate' | 'outage' | 'drop'
+    KIND    := 'crash' | 'slow' | 'bitflip' | 'truncate' | 'outage'
+             | 'drop' | 'kill'
 
 Clauses and their parameters (all optional, with defaults):
 
@@ -31,9 +32,16 @@ outage    ``at`` (start, s), ``dur`` (length, s) — WAN link dead
           window; repeat the clause for multiple windows.
 drop      ``p`` (per-delivery drop prob, 0.1), ``max`` (transmit
           attempts, 4), ``backoff`` (base retransmit delay, 0.5).
+kill      ``p`` (1.0), ``at`` (``pre_commit`` | ``post_commit`` |
+          ``mid_write``, default ``pre_commit``), ``hard`` (1),
+          ``only`` — the process dies (``SIGKILL``; ``hard=0``
+          raises instead) at that stage of the next guarded
+          :func:`repro.runtime.atomic_write`. Exercises
+          crash-consistency and ledger resume.
 ========  =======================================================
 
-Example: ``seed=42;crash:p=0.3;bitflip:p=1:n=2;outage:at=5:dur=2``.
+Example: ``seed=42;crash:p=0.3;bitflip:p=1:n=2;outage:at=5:dur=2``;
+a sweep crash drill: ``seed=7;kill:only=2:at=post_commit``.
 """
 
 from __future__ import annotations
@@ -43,16 +51,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.runtime.durable import KILL_POINTS, KillPoint
+
 __all__ = [
     "FaultInjectedError",
     "FaultSpecError",
     "JobFaults",
     "LinkFaults",
+    "KillPoint",
     "FaultInjector",
     "parse_fault_spec",
 ]
 
-_KINDS = ("crash", "slow", "bitflip", "truncate", "outage", "drop")
+_KINDS = ("crash", "slow", "bitflip", "truncate", "outage", "drop", "kill")
 
 #: Allowed parameters (and their types) per fault kind. ``only`` (where
 #: accepted) pins the fault to a single subject index — job index, blob
@@ -64,6 +75,7 @@ _PARAMS: dict[str, dict[str, type]] = {
     "truncate": {"p": float, "frac": float, "only": int},
     "outage": {"at": float, "dur": float},
     "drop": {"p": float, "max": int, "backoff": float, "only": int},
+    "kill": {"p": float, "at": str, "hard": int, "only": int},
 }
 
 _DEFAULTS: dict[str, dict] = {
@@ -73,6 +85,7 @@ _DEFAULTS: dict[str, dict] = {
     "truncate": {"p": 1.0, "frac": 0.5},
     "outage": {"at": 0.0, "dur": 1.0},
     "drop": {"p": 0.1, "max": 4, "backoff": 0.5},
+    "kill": {"p": 1.0, "at": "pre_commit", "hard": 1},
 }
 
 
@@ -166,7 +179,16 @@ class FaultInjector:
                     raise FaultSpecError(
                         f"fault {kind!r} has no parameter {key!r}; "
                         f"allowed: {', '.join(_PARAMS[kind])}")
-                merged[key] = _PARAMS[kind][key](value)
+                try:
+                    merged[key] = _PARAMS[kind][key](value)
+                except (TypeError, ValueError):
+                    raise FaultSpecError(
+                        f"fault {kind!r}: parameter {key!r} needs a "
+                        f"{_PARAMS[kind][key].__name__}, got {value!r}") from None
+            if kind == "kill" and merged["at"] not in KILL_POINTS:
+                raise FaultSpecError(
+                    f"kill fault: at must be one of {', '.join(KILL_POINTS)}, "
+                    f"got {merged['at']!r}")
             self.clauses.append((kind, merged))
 
     @classmethod
@@ -229,6 +251,23 @@ class FaultInjector:
         return out, events
 
     # ------------------------------------------------------------------ #
+    # Process-kill faults (consumed by repro.runtime.atomic_write via the
+    # sweep driver): die at a chosen stage of an artifact commit.
+    def kill_directive(self, key: str, index: int | None = None) -> KillPoint | None:
+        """Should the guarded write identified by ``key`` crash, and where?
+
+        Deterministic in ``(seed, key)``; ``only=<index>`` pins the kill
+        to one subject (e.g. the N-th sweep cell). Returns a
+        :class:`~repro.runtime.durable.KillPoint` or None.
+        """
+        clause = self._clause("kill")
+        if clause is None or not self._applies(clause, index):
+            return None
+        if _uniform(self.seed, "kill", key) >= clause["p"]:
+            return None
+        return KillPoint(at=clause["at"], hard=bool(clause["hard"]))
+
+    # ------------------------------------------------------------------ #
     # WAN faults (consumed by repro.transfer.network).
     def link_faults(self) -> LinkFaults | None:
         """Collapse outage/drop clauses into a :class:`LinkFaults`, or None."""
@@ -285,7 +324,8 @@ def parse_fault_spec(spec: str) -> FaultInjector:
             try:
                 params[key.strip()] = float(value)
             except ValueError:
-                raise FaultSpecError(
-                    f"non-numeric value {value!r} in clause {clause!r}") from None
+                # symbolic values (e.g. kill's at=pre_commit) stay strings;
+                # FaultInjector type-checks them against the kind's schema
+                params[key.strip()] = value.strip()
         clauses.append((kind, params))
     return FaultInjector(clauses, seed=seed)

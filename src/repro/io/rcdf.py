@@ -319,10 +319,16 @@ def _decode_variable(meta: dict, payload: bytes) -> RcdfVariable:
 
 
 def write_rcdf(path, dataset: RcdfDataset) -> None:
-    """Serialize a dataset to a file path."""
-    blob = dataset.to_bytes()
-    with open(path, "wb") as fh:
-        fh.write(blob)
+    """Serialize a dataset to a file path.
+
+    The write is durable and atomic (temp file + fsync + rename via
+    :func:`repro.runtime.atomic_write`): a crash mid-write can no longer
+    leave a truncated container that a later read misdiagnoses as
+    transit corruption (``CorruptStreamError``).
+    """
+    from repro.runtime import atomic_write
+
+    atomic_write(path, dataset.to_bytes())
 
 
 def read_rcdf(path, *, salvage: bool = False) -> RcdfDataset:

@@ -19,6 +19,7 @@ JSON-array format understood by ``chrome://tracing`` and Perfetto.
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
@@ -39,14 +40,27 @@ __all__ = [
 
 
 class JsonlSink:
-    """Append JSON records, one per line, to a file."""
+    """Append JSON records, one per line, to a file.
+
+    Crash-consistent appends: a previous process dying mid-append leaves
+    an unterminated final line, which would fuse with the next record
+    into one unparseable line. The sink heals that torn tail (truncating
+    the partial record) before appending, so every *complete* line in the
+    file is always valid JSON.
+    """
 
     def __init__(self, path) -> None:
         self.path = Path(path)
 
     def write(self, records: Iterable[dict]) -> int:
+        from repro.runtime import heal_jsonl_tail
+
         n = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        healed = heal_jsonl_tail(self.path)
+        if healed:
+            warnings.warn(f"{self.path}: healed {healed} torn tail byte(s) "
+                          "before appending", RuntimeWarning, stacklevel=2)
         with self.path.open("a") as fh:
             for rec in records:
                 fh.write(json.dumps(rec, sort_keys=True) + "\n")
@@ -99,24 +113,43 @@ def chrome_trace_events(run: "Run") -> list[dict]:
 
 
 def write_chrome_trace(run: "Run", path) -> None:
+    from repro.runtime import atomic_write
+
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps({"traceEvents": chrome_trace_events(run)}))
+    atomic_write(path, json.dumps({"traceEvents": chrome_trace_events(run)}))
 
 
 # ---------------------------------------------------------------------- #
 def load_jsonl(path) -> list[dict]:
-    """Parse a JSONL file into a list of dicts (blank lines ignored)."""
+    """Parse a JSONL file into a list of dicts (blank lines ignored).
+
+    Torn-tail tolerant: a final line left unterminated by a crashed
+    writer is *skipped* with a counted ``RuntimeWarning`` (metric
+    ``jsonl.torn_tail_skipped`` when a run is active) instead of raising
+    — a local torn write is an expected crash signature, not corruption.
+    Invalid JSON anywhere else still raises ``ValueError``.
+    """
+    raw = Path(path).read_text()
+    torn_tail = bool(raw) and not raw.endswith("\n")
+    lines = raw.splitlines()
     out = []
-    for i, line in enumerate(Path(path).read_text().splitlines(), 1):
+    for i, line in enumerate(lines, 1):
         if not line.strip():
             continue
         try:
             rec = json.loads(line)
-        except json.JSONDecodeError as exc:
+            if not isinstance(rec, dict):
+                raise ValueError(f"expected an object, got {type(rec).__name__}")
+        except (json.JSONDecodeError, ValueError) as exc:
+            if torn_tail and i == len(lines):
+                from repro.obs.trace import inc_counter
+
+                inc_counter("jsonl.torn_tail_skipped")
+                warnings.warn(f"{path}: skipping torn final line ({exc})",
+                              RuntimeWarning, stacklevel=2)
+                continue
             raise ValueError(f"{path}:{i}: invalid JSON: {exc}") from None
-        if not isinstance(rec, dict):
-            raise ValueError(f"{path}:{i}: expected an object, got {type(rec).__name__}")
         out.append(rec)
     return out
 

@@ -1,0 +1,13 @@
+"""Known-bad: artifact writes that a crash can leave torn (DUR-001)."""
+
+import json
+from pathlib import Path
+
+
+def save_report(path, rows):
+    with open(path, "w") as fh:                      # DUR-001
+        json.dump(rows, fh)
+
+
+def save_blob(path: Path, blob: bytes) -> None:
+    path.write_bytes(blob)                           # DUR-001

@@ -1,0 +1,21 @@
+"""Known-good: atomic commits, read-only opens, and append journaling."""
+
+import json
+from pathlib import Path
+
+from repro.runtime import atomic_write
+
+
+def save_report(path, rows):
+    atomic_write(path, json.dumps(rows))
+
+
+def load_blob(path: Path) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def append_event(path: Path, record: dict) -> None:
+    # append journaling is the other sanctioned durability pattern
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record) + "\n")

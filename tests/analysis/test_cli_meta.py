@@ -74,7 +74,7 @@ def test_list_rules_covers_catalogue(capsys):
     out = capsys.readouterr().out
     for rule in all_rules():
         assert rule.id in out
-    for family in ("DET-", "DEC-", "NPY-", "OBS-", "API-", "HYG-"):
+    for family in ("DET-", "DEC-", "NPY-", "OBS-", "API-", "HYG-", "DUR-"):
         assert family in out
 
 

@@ -41,6 +41,8 @@ BAD_CORPUS = [
      {"API-002"}, 1),
     ("api_consistency/bad_unlisted_reexport.py", "src/repro/toy/__init__.py",
      {"API-003"}, 1),
+    ("durability/bad_plain_open.py", "src/repro/io/report.py",
+     {"DUR-001"}, 2),
 ]
 
 GOOD_CORPUS = [
@@ -50,6 +52,7 @@ GOOD_CORPUS = [
     ("obs_coverage/good_traced.py", "src/repro/baselines/toy.py"),
     ("api_consistency/good_init.py", "src/repro/toy/__init__.py"),
     ("api_consistency/good_lazy_getattr.py", "src/repro/toy/__init__.py"),
+    ("durability/good_atomic.py", "src/repro/io/report.py"),
 ]
 
 
@@ -101,4 +104,4 @@ def test_every_rule_family_has_a_true_positive():
     covered = set()
     for _, _, ids, _ in BAD_CORPUS:
         covered |= {i.split("-")[0] for i in ids}
-    assert {"DET", "DEC", "NPY", "OBS", "API"} <= covered
+    assert {"DET", "DEC", "NPY", "OBS", "API", "DUR"} <= covered

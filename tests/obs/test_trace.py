@@ -158,6 +158,25 @@ class TestExports:
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             load_jsonl(path)
 
+    def test_load_jsonl_skips_byte_truncated_tail(self, tmp_path):
+        """Regression: a writer killed mid-append leaves an unterminated
+        final line — an expected crash signature, not corruption."""
+        path = tmp_path / "torn.jsonl"
+        whole = b'{"a": 1}\n{"b": 2}\n{"c": 3}\n'
+        path.write_bytes(whole[: len(whole) - 4])  # tear the final record
+        with pytest.warns(RuntimeWarning, match="torn final line"):
+            records = load_jsonl(path)
+        assert records == [{"a": 1}, {"b": 2}]
+
+    def test_jsonl_sink_heals_torn_tail_before_appending(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        sink = obs.JsonlSink(path)
+        sink.write([{"a": 1}, {"b": 2}])
+        path.write_bytes(path.read_bytes() + b'{"half')  # crashed append
+        with pytest.warns(RuntimeWarning, match="healed"):
+            sink.write([{"c": 3}])
+        assert load_jsonl(path) == [{"a": 1}, {"b": 2}, {"c": 3}]
+
 
 class TestValidation:
     def test_trace_line_missing_key(self):

@@ -1,0 +1,129 @@
+"""repro.runtime.durable: atomic commits and torn-tail healing.
+
+The soft-kill tests observe the exact on-disk state a power cut at each
+stage leaves behind — the same states the subprocess SIGKILL test in
+``tests/test_sweep_resume.py`` produces with hard kills.
+"""
+
+import pytest
+
+from repro.runtime import (
+    InjectedKillError,
+    KillPoint,
+    atomic_write,
+    fsync_dir,
+    heal_jsonl_tail,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_bytes(self, tmp_path):
+        path = tmp_path / "a.bin"
+        assert atomic_write(path, b"payload") == path
+        assert path.read_bytes() == b"payload"
+
+    def test_writes_str_as_utf8(self, tmp_path):
+        path = tmp_path / "a.txt"
+        atomic_write(path, "héllo")
+        assert path.read_bytes() == "héllo".encode("utf-8")
+
+    def test_replaces_existing(self, tmp_path):
+        path = tmp_path / "a.txt"
+        path.write_text("old")
+        atomic_write(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_fsync_mode(self, tmp_path):
+        path = tmp_path / "a.txt"
+        atomic_write(path, "data", fsync=False)
+        assert path.read_text() == "data"
+
+    def test_leaves_no_temp_files(self, tmp_path):
+        atomic_write(tmp_path / "a.txt", "data")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_fsync_dir_tolerates_missing(self, tmp_path):
+        fsync_dir(tmp_path / "definitely-not-here")  # must not raise
+
+
+class TestKillPoints:
+    """Soft kills: the destination state at each crash stage."""
+
+    def test_invalid_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown kill point"):
+            KillPoint(at="before_lunch")
+
+    def test_mid_write_preserves_old_contents(self, tmp_path):
+        path = tmp_path / "a.txt"
+        path.write_text("old")
+        with pytest.raises(InjectedKillError) as exc:
+            atomic_write(path, "new contents", kill=KillPoint("mid_write", hard=False))
+        assert exc.value.at == "mid_write"
+        assert path.read_text() == "old"
+        (tmp,) = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert tmp.read_bytes() == b"new contents"[: len(b"new contents") // 2]
+
+    def test_pre_commit_preserves_old_contents(self, tmp_path):
+        path = tmp_path / "a.txt"
+        path.write_text("old")
+        with pytest.raises(InjectedKillError):
+            atomic_write(path, "new", kill=KillPoint("pre_commit", hard=False))
+        assert path.read_text() == "old"
+        (tmp,) = [p for p in tmp_path.iterdir() if p.name.endswith(".tmp")]
+        assert tmp.read_text() == "new"  # temp complete, rename never ran
+
+    def test_post_commit_leaves_new_contents(self, tmp_path):
+        path = tmp_path / "a.txt"
+        path.write_text("old")
+        with pytest.raises(InjectedKillError):
+            atomic_write(path, "new", kill=KillPoint("post_commit", hard=False))
+        assert path.read_text() == "new"  # renamed before the kill
+
+    def test_crashed_write_is_retryable(self, tmp_path):
+        """The core idempotence contract: redoing the write after any
+        crash stage converges to the new contents, no residue."""
+        path = tmp_path / "a.txt"
+        path.write_text("old")
+        for stage in ("mid_write", "pre_commit", "post_commit"):
+            with pytest.raises(InjectedKillError):
+                atomic_write(path, "new", kill=KillPoint(stage, hard=False))
+            atomic_write(path, "new")
+            assert path.read_text() == "new"
+            assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+            path.write_text("old")
+
+
+class TestHealJsonlTail:
+    def test_missing_file(self, tmp_path):
+        assert heal_jsonl_tail(tmp_path / "none.jsonl") == 0
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_bytes(b"")
+        assert heal_jsonl_tail(path) == 0
+
+    def test_clean_file_untouched(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"b": 2}\n')
+        assert heal_jsonl_tail(path) == 0
+        assert path.read_bytes() == b'{"a": 1}\n{"b": 2}\n'
+
+    def test_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_bytes(b'{"a": 1}\n{"b": 2}\n{"c":')
+        assert heal_jsonl_tail(path) == len(b'{"c":')
+        assert path.read_bytes() == b'{"a": 1}\n{"b": 2}\n'
+
+    def test_torn_only_line_truncates_to_empty(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_bytes(b'{"never finished"')
+        assert heal_jsonl_tail(path) == len(b'{"never finished"')
+        assert path.read_bytes() == b""
+
+    def test_long_torn_tail_spanning_blocks(self, tmp_path):
+        """The backward newline scan must cross its 4 KiB block size."""
+        path = tmp_path / "a.jsonl"
+        torn = b'{"x": "' + b"y" * 10_000
+        path.write_bytes(b'{"a": 1}\n' + torn)
+        assert heal_jsonl_tail(path) == len(torn)
+        assert path.read_bytes() == b'{"a": 1}\n'

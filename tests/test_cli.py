@@ -221,3 +221,16 @@ class TestDatasetAndMisc:
     def test_experiment_runs(self, capsys):
         assert main(["experiment", "table3_datasets"]) == 0
         assert "SOILLIQ" in capsys.readouterr().out
+
+    def test_sweep_subcommand(self, tmp_path, capsys):
+        out = tmp_path / "sweep"
+        args = ["sweep", "--out", str(out), "--datasets", "SSH",
+                "--shape", "12,10,48", "--compressors", "SZ3",
+                "--rel-ebs", "1e-2", "--no-fsync"]
+        assert main(args) == 0
+        assert "complete" in capsys.readouterr().out
+        assert (out / "ledger.jsonl").exists()
+        assert (out / "results.json").exists()
+        # resuming a finished sweep is a cheap no-op
+        assert main(args + ["--resume"]) == 0
+        assert "1 skipped (ledger)" in capsys.readouterr().out
