@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.encoding.bitstream import BitWriter
+from repro.encoding.codebook import active_cache
 from repro.encoding.huffman import HuffmanCode
 from repro.encoding.lz import lz_compress, lz_decompress
 from repro.encoding.varint import decode_uvarint, encode_uvarint
@@ -34,7 +35,11 @@ def encode_code_stream(codes: np.ndarray) -> bytes:
     encode_uvarint(codes.size, payload)
     if codes.size:
         with profile_stage("huffman.encode", nbytes=codes.size * 8):
-            code = HuffmanCode.from_symbols(codes)
+            cache = active_cache()
+            if cache is not None:
+                code = cache.code_for("stream", codes)
+            else:
+                code = HuffmanCode.from_symbols(codes)
             table = code.serialize()
             encode_uvarint(len(table), payload)
             payload += table

@@ -1,0 +1,140 @@
+"""Huffman codebook reuse across chunk jobs.
+
+``compress_chunked`` splits one array into near-identical chunks; without
+help, every chunk job rebuilds its Huffman codebooks (bincount + heap +
+length-limiting) from its own symbol statistics even though the
+distributions barely differ. This module lets the dispatcher record the
+codebooks built for the *first* chunk and hand a frozen, picklable copy
+to the remaining chunk jobs, which reuse a recorded book whenever it can
+still encode their symbols (every symbol has a codeword) and fall back
+to a fresh build otherwise. Streams stay fully self-describing — the
+(possibly reused) table is still serialized into every chunk blob — so
+decode needs no cache and old blobs remain readable.
+
+Books are keyed by the deterministic *call sequence* within one codec
+invocation (stream/group kind + ordinal). Chunk compression is
+deterministic for a fixed config, so the k-th codebook request of chunk
+j aligns with the k-th request of chunk 0; if a chunk diverges (e.g. a
+different group count), lookups miss and the build fallback keeps the
+output correct.
+
+The cache is activated per job via a context variable
+(:func:`activate`); with no active cache the encoders behave exactly as
+before. Decisions are counted in ``huffman.codebook_built`` /
+``codebook_reused`` / ``codebook_rebuilt``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+import numpy as np
+
+from repro.encoding.huffman import HuffmanCode
+from repro.obs import inc_counter
+
+__all__ = ["CodebookCache", "activate", "active_cache"]
+
+_ACTIVE: ContextVar["CodebookCache | None"] = ContextVar(
+    "repro_codebook_cache", default=None)
+
+# Recording-time alphabet padding: neighbouring chunks of one array draw
+# from nearly the same code distribution, but their *support* differs —
+# a symbol unseen in chunk 0 has no codeword and would force a rebuild.
+# Pseudo-count-1 entries fill gaps of up to _GAP between observed symbols
+# and extend each dense run by _MARGIN on both ends, so slightly-wider
+# sibling distributions stay coverable. Cost: a handful of ~max-depth
+# codewords and a few extra (LZ-friendly) zero bytes of table.
+_GAP = 256
+_MARGIN = 64
+
+
+def _padded_counts(symbols: np.ndarray) -> np.ndarray:
+    counts = np.bincount(symbols)
+    observed = np.flatnonzero(counts)
+    if observed.size == 0:  # pragma: no cover - encoders skip empty streams
+        return counts
+    pad = np.zeros(int(observed[-1]) + 1 + _MARGIN, dtype=counts.dtype)
+    pad[: counts.size] = counts
+    gaps = np.diff(observed)
+    for start, gap in zip(observed[:-1][gaps > 1], gaps[gaps > 1]):
+        if gap <= _GAP:
+            pad[start + 1 : start + gap] = 1
+    runs = np.concatenate(([0], np.flatnonzero(gaps > _GAP) + 1, [observed.size]))
+    for lo, hi in zip(runs[:-1], runs[1:]):
+        a, b = int(observed[lo]), int(observed[hi - 1])
+        pad[max(0, a - _MARGIN) : a][pad[max(0, a - _MARGIN) : a] == 0] = 1
+        pad[b + 1 : b + 1 + _MARGIN][pad[b + 1 : b + 1 + _MARGIN] == 0] = 1
+    return pad
+
+
+def _covers(code: HuffmanCode, symbols: np.ndarray) -> bool:
+    """True when every symbol has a codeword (the stream stays decodable)."""
+    if symbols.size == 0:
+        return True
+    if int(symbols.max()) >= code.alphabet_size:
+        return False
+    return bool(code.lengths[symbols].all())
+
+
+class CodebookCache:
+    """Records codebooks on the first chunk, replays them on the rest.
+
+    ``CodebookCache()`` starts in *recording* mode: every request builds
+    a fresh code and stores its length table. ``CodebookCache(state)``
+    (with ``state`` from :meth:`state`) starts in *reuse* mode: requests
+    replay the recorded book when it covers the symbols, else rebuild.
+    """
+
+    def __init__(self, state: dict[str, tuple[int, bytes]] | None = None) -> None:
+        self.recording = state is None
+        self._lengths: dict[str, np.ndarray] = {}
+        self._codes: dict[str, HuffmanCode] = {}
+        self._seq = 0
+        if state is not None:
+            for key, (alphabet, raw) in state.items():
+                lengths = np.frombuffer(raw, dtype=np.uint8).copy()
+                if lengths.size != alphabet:
+                    raise ValueError(f"codebook state {key!r} is inconsistent")
+                self._lengths[key] = lengths
+
+    def state(self) -> dict[str, tuple[int, bytes]]:
+        """Picklable snapshot of the recorded books (length tables only)."""
+        return {key: (int(lengths.size), lengths.tobytes())
+                for key, lengths in self._lengths.items()}
+
+    def code_for(self, kind: str, symbols: np.ndarray) -> HuffmanCode:
+        """The codebook to encode ``symbols`` with at this call position."""
+        key = f"{kind}:{self._seq}"
+        self._seq += 1
+        if self.recording:
+            code = HuffmanCode.from_frequencies(_padded_counts(symbols))
+            self._lengths[key] = code.lengths
+            inc_counter("huffman.codebook_built")
+            return code
+        lengths = self._lengths.get(key)
+        if lengths is not None:
+            code = self._codes.get(key)
+            if code is None:
+                code = self._codes[key] = HuffmanCode(lengths)
+            if _covers(code, symbols):
+                inc_counter("huffman.codebook_reused")
+                return code
+        inc_counter("huffman.codebook_rebuilt")
+        return HuffmanCode.from_symbols(symbols)
+
+
+def active_cache() -> CodebookCache | None:
+    """The cache activated for the current context, if any."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def activate(cache: CodebookCache):
+    """Activate ``cache`` for the calling context (one compress job)."""
+    token = _ACTIVE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE.reset(token)

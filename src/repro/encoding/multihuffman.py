@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.encoding.bitstream import BitWriter
+from repro.encoding.codebook import active_cache
 from repro.encoding.huffman import HuffmanCode
 from repro.encoding.varint import decode_uvarint, encode_uvarint
 from repro.obs import inc_counter, observe, span as profile_stage
@@ -53,12 +54,16 @@ def encode_grouped(symbols: np.ndarray, groups: np.ndarray, n_groups: int) -> by
 
 def _encode_groups(symbols: np.ndarray, groups: np.ndarray, n_groups: int,
                    out: bytearray) -> bytearray:
+    cache = active_cache()
     for g in range(n_groups):
         part = symbols[groups == g]
         encode_uvarint(part.size, out)
         if part.size == 0:
             continue
-        code = HuffmanCode.from_symbols(part)
+        if cache is not None:
+            code = cache.code_for(f"group{g}", part)
+        else:
+            code = HuffmanCode.from_symbols(part)
         table = code.serialize()
         encode_uvarint(len(table), out)
         out += table

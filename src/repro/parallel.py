@@ -46,10 +46,12 @@ import os
 import signal
 import threading
 import time
+import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -168,22 +170,56 @@ def _apply_job_faults(directive: JobFaults | None, attempt: int, *,
         time.sleep(directive.delay)
 
 
+_timeout_fallback_warned = False
+
+
+def _warn_timeout_fallback() -> None:
+    """One-shot warning that SIGALRM preemption is unavailable here."""
+    global _timeout_fallback_warned
+    obs.inc_counter("parallel.timeout_unenforced")
+    if not _timeout_fallback_warned:
+        _timeout_fallback_warned = True
+        warnings.warn(
+            "per-job timeout requested off the main thread: SIGALRM cannot "
+            "preempt here, so the deadline is enforced post-hoc (the attempt "
+            "runs to completion, then raises TimeoutError if it overran)",
+            RuntimeWarning, stacklevel=3)
+
+
 def _run_attempt(fn, payload, directive: JobFaults | None, attempt: int,
                  timeout: float | None, *, in_worker: bool):
-    """One attempt of one job: faults, then timeout-bounded work."""
+    """One attempt of one job: faults, then timeout-bounded work.
+
+    On the main thread the timeout preempts the attempt via SIGALRM.
+    Off the main thread (service threads, pytest workers) signals are
+    unavailable; instead of silently skipping the budget — the old,
+    buggy behaviour — the attempt is checked against a monotonic
+    deadline when it returns, so an overrunning job still surfaces as a
+    retryable ``TimeoutError`` (counted in ``parallel.timeout_unenforced``
+    because it could not be cut short in flight).
+    """
     use_alarm = (timeout is not None
                  and threading.current_thread() is threading.main_thread())
+    deadline = None
+    if timeout is not None and not use_alarm:
+        _warn_timeout_fallback()
+        deadline = time.monotonic() + timeout
     old_handler = None
     if use_alarm:
         old_handler = signal.signal(signal.SIGALRM, _raise_job_timeout)
         signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
         _apply_job_faults(directive, attempt, in_worker=in_worker)
-        return fn(payload)
+        result = fn(payload)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, old_handler)
+    if deadline is not None and time.monotonic() > deadline:
+        raise TimeoutError(
+            "per-job timeout exceeded (enforced post-hoc: SIGALRM is "
+            "unavailable off the main thread)")
+    return result
 
 
 def _worker_call(fn, payload, directive: JobFaults | None, attempt: int,
@@ -384,8 +420,17 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
 
 
 def _run_jobs(fn, payloads, *, workers, policy: RetryPolicy,
-              faults: FaultInjector | None, scope: str, dispatch) -> list[JobResult]:
-    directives = _plan_directives(faults, scope, len(payloads))
+              faults: FaultInjector | None, scope: str, dispatch,
+              directives: list[JobFaults | None] | None = None) -> list[JobResult]:
+    """Dispatch ``payloads`` serially or on a pool.
+
+    ``directives`` overrides the internally planned fault directives —
+    multi-wave dispatchers (``compress_chunked``) plan once for the whole
+    logical job set and pass each wave its slice, so ``only=N`` fault
+    clauses keep addressing the logical job index.
+    """
+    if directives is None:
+        directives = _plan_directives(faults, scope, len(payloads))
     if workers:
         return _run_pool(fn, payloads, directives, workers, policy, dispatch)
     return _run_serial(fn, payloads, directives, policy)
@@ -428,6 +473,121 @@ def _chunk_slices(n: int, n_chunks: int) -> list[slice]:
     return [slice(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
 
 
+# ---------------------------------------------------------------------- #
+# Zero-copy chunk dispatch: pool workers receive a (name, shape, dtype,
+# slice) descriptor into one parent-owned shared-memory segment instead of
+# a pickled ndarray copy of their chunk.
+
+@dataclass(frozen=True)
+class _ShmSlice:
+    """Descriptor of one chunk inside a shared-memory array segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    axis: int
+    start: int
+    stop: int
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without tracker double-accounting.
+
+    Only the creating (parent) process may unlink. Before Python 3.13 an
+    attaching process auto-registers the segment with a resource tracker
+    too; under a non-fork start method that is the *worker's own*
+    tracker, which would unlink the segment at worker exit — undo the
+    registration (3.13+ has ``track=False`` for exactly this). Forked
+    workers share the parent's tracker, where the attach-register is an
+    idempotent set-add cleaned up by the parent's final ``unlink()`` —
+    unregistering there would instead erase the parent's entry.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            import multiprocessing
+
+            if multiprocessing.get_start_method() != "fork":
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker layout differs
+            pass
+        return seg
+
+
+def _chunk_array(payload) -> np.ndarray:
+    """Materialize a chunk payload: ndarray view or shared-memory slice."""
+    if not isinstance(payload, _ShmSlice):
+        return payload
+    seg = _attach_shm(payload.name)
+    try:
+        full = np.ndarray(payload.shape, dtype=np.dtype(payload.dtype),
+                          buffer=seg.buf)
+        sel = (slice(None),) * payload.axis + (slice(payload.start, payload.stop),)
+        # .copy() (never ascontiguousarray: a contiguous slice would come
+        # back as a *view*) — the bytes must be owned before close() unmaps
+        # the segment out from under the codec.
+        out = full[sel].copy()
+        del full
+        return out
+    finally:
+        seg.close()
+
+
+class _ShmArena:
+    """Parent-side shared-memory segments with guaranteed unlink.
+
+    ``share()`` copies an array into a fresh segment once; ``close()``
+    (in the dispatcher's ``finally``) closes and unlinks every segment,
+    so no exit path — strict-mode raise, worker crash, timeout, fault
+    injection — leaks a ``/dev/shm`` entry. The parent's resource
+    tracker is the backstop if the parent itself dies mid-dispatch.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+
+    def share(self, arr: np.ndarray) -> tuple[str, tuple[int, ...], str]:
+        seg = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+        self._segments.append(seg)
+        np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)[...] = arr
+        return seg.name, arr.shape, arr.dtype.str
+
+    def close(self) -> None:
+        for seg in self._segments:
+            try:
+                seg.close()
+            finally:
+                seg.unlink()
+        self._segments.clear()
+
+
+def _compress_chunk(args):
+    """Worker entry for one chunk: materialize, activate codebooks, compress.
+
+    Returns ``(blob, cache_state)`` — ``cache_state`` is the recorded
+    codebook snapshot for the first chunk (``cache_state`` argument
+    ``None``) and ``None`` for reuse-mode chunks.
+    """
+    codec, payload, kwargs, mask_payload, cache_state = args
+    from repro import compressor_for
+    from repro.encoding.codebook import CodebookCache, activate
+
+    arr = _chunk_array(payload)
+    mask = _chunk_array(mask_payload) if mask_payload is not None else None
+    comp = compressor_for(codec)
+    cache = CodebookCache(cache_state)
+    with activate(cache):
+        if mask is not None:
+            blob = comp.compress(arr, mask=mask, **kwargs)
+        else:
+            blob = comp.compress(arr, **kwargs)
+    return blob, (cache.state() if cache.recording else None)
+
+
 def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
                      n_chunks: int = 4, workers: int | None = None,
                      mask: np.ndarray | None = None,
@@ -445,6 +605,18 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
     (worker crash/slow directives apply per chunk job, bitflip/truncate
     clauses corrupt the stored chunk blobs — for exercising salvage).
 
+    Dispatch happens in two waves with identical output either way:
+    chunk 0 is compressed in the dispatching process first, recording its
+    Huffman codebooks; the remaining chunks (pool or serial) reuse those
+    books when still decodable instead of rebuilding per chunk
+    (``huffman.codebook_*`` counters record the decisions). Pool workers
+    receive zero-copy :class:`_ShmSlice` descriptors into one
+    shared-memory copy of ``data`` rather than per-chunk pickled arrays;
+    the segments are unlinked on every exit path. A ``crash`` fault
+    directive for chunk 0 therefore degrades to an in-process
+    :class:`~repro.faults.FaultInjectedError` (as in serial dispatch);
+    directives for later chunks still kill real pool workers.
+
     Relative bounds are resolved *per chunk* by the codec; to keep one
     global bound across chunks, pass ``abs_eb``.
     """
@@ -457,17 +629,51 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
     faults = _resolve_faults(faults)
     policy = _resolve_policy(retries, retry_backoff, timeout)
     slices = _chunk_slices(arr.shape[axis], n_chunks)
-    take = lambda a, sl: np.ascontiguousarray(  # noqa: E731
-        a[(slice(None),) * axis + (sl,)])
-    jobs = [
-        (codec, take(arr, sl), dict(codec_kwargs), take(mask, sl) if mask is not None else None)
-        for sl in slices
-    ]
-    with obs.span("compress_chunked", nbytes=arr.nbytes, codec=codec,
-                  n_chunks=len(jobs), workers=workers or 0) as dispatch:
-        results = _run_jobs(_compress_one, jobs, workers=workers, policy=policy,
-                            faults=faults, scope="chunk", dispatch=dispatch)
-    blobs = _finalize(results, True, "compress_chunked")
+    take = lambda a, sl: a[(slice(None),) * axis + (sl,)]  # noqa: E731  (view)
+    kwargs = dict(codec_kwargs)
+    directives = _plan_directives(faults, "chunk", len(slices))
+    use_pool = bool(workers) and len(slices) > 1
+    arena = _ShmArena()
+    try:
+        with obs.span("compress_chunked", nbytes=arr.nbytes, codec=codec,
+                      n_chunks=len(slices), workers=workers or 0) as dispatch:
+            # Wave 1: chunk 0 in-process, recording its codebooks.
+            first_job = (codec, take(arr, slices[0]), kwargs,
+                         take(mask, slices[0]) if mask is not None else None,
+                         None)
+            first = _run_jobs(_compress_chunk, [first_job], workers=None,
+                              policy=policy, faults=faults, scope="chunk",
+                              dispatch=dispatch, directives=directives[:1])
+            blob0, cache_state = _finalize(first, True, "compress_chunked")[0]
+            blobs = [blob0]
+            # Wave 2: remaining chunks reuse the frozen codebooks; pool
+            # workers read their slice from shared memory.
+            if len(slices) > 1:
+                if use_pool:
+                    arr_ref = arena.share(arr)
+                    mask_ref = arena.share(mask) if mask is not None else None
+                    payload = lambda ref, sl: _ShmSlice(  # noqa: E731
+                        ref[0], ref[1], ref[2], axis, sl.start, sl.stop)
+                else:
+                    payload = lambda _ref, sl: take(arr, sl)  # noqa: E731
+                    arr_ref = mask_ref = None
+                rest_jobs = []
+                for sl in slices[1:]:
+                    m = None
+                    if mask is not None:
+                        m = (payload(mask_ref, sl) if use_pool
+                             else take(mask, sl))
+                    rest_jobs.append((codec, payload(arr_ref, sl), kwargs, m,
+                                      cache_state))
+                rest = _run_jobs(_compress_chunk, rest_jobs, workers=workers,
+                                 policy=policy, faults=faults, scope="chunk",
+                                 dispatch=dispatch, directives=directives[1:])
+                for r in rest:  # report logical chunk numbers on failure
+                    r.index += 1
+                blobs += [value[0] for value in
+                          _finalize(rest, True, "compress_chunked")]
+    finally:
+        arena.close()
     blobs = _inject_storage_faults(blobs, faults, "chunk")
 
     container = Container(_CODEC, {

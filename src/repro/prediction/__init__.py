@@ -12,6 +12,7 @@ from repro.prediction.interpolation import (
     InterpResult,
     InterpSpec,
     interp_compress,
+    interp_compress_reference,
     interp_decompress,
     interpolation_steps,
     max_level,
@@ -28,6 +29,7 @@ __all__ = [
     "InterpSpec",
     "InterpResult",
     "interp_compress",
+    "interp_compress_reference",
     "interp_decompress",
     "interpolation_steps",
     "max_level",

@@ -42,6 +42,7 @@ __all__ = [
     "InterpSpec",
     "InterpResult",
     "interp_compress",
+    "interp_compress_reference",
     "interp_decompress",
     "interpolation_steps",
     "max_level",
@@ -176,6 +177,93 @@ def _predict(rec, valid, axis, slices, targets, h, fit):
     return (refs * coeffs).sum(axis=axis + 1)
 
 
+def _interior_rows(n: int, h: int, offsets: np.ndarray,
+                   n_targets: int) -> tuple[int, int]:
+    """Target-row range ``[i0, i1)`` whose references are all in bounds.
+
+    Targets sit at ``h + 2*h*i`` along an axis of length ``n``; a row is
+    *interior* when every reference offset ``o*h`` (``o`` in ``offsets``)
+    stays inside ``[0, n)``. Outside rows fall back to the generic
+    mask-aware predictor; rows inside use the full-validity stencil with
+    pure strided views (no gather, no per-point coefficient lookup).
+    """
+    o_min = int(offsets[0])
+    o_max = int(offsets[-1])
+    # first row with h + 2*h*i + o_min*h >= 0
+    i0 = max(0, -((1 + o_min) // 2))
+    # last row with h + 2*h*i + o_max*h <= n - 1
+    num = n - 1 - h * (1 + o_max)
+    i1 = num // (2 * h) + 1 if num >= 0 else 0
+    i0 = min(i0, n_targets)
+    i1 = max(i0, min(i1, n_targets))
+    return i0, i1
+
+
+def _edge_row(view, axis, t, h, offsets, table, weights, n, out_row) -> None:
+    """One boundary target row of an unmasked pass, scalar-stencil form.
+
+    Without a mask a target row's reference validity depends only on its
+    position along ``axis``, so the whole row shares one stencil code —
+    the reference kernel's clipped gather + per-point ``table[codes]``
+    lookup collapses to ``R`` strided multiply-adds with the same clipped
+    sources and the same left-to-right accumulation (zero-coefficient
+    terms included, preserving NaN/inf propagation).
+    """
+    code = 0
+    for j, o in enumerate(offsets):
+        p = t + int(o) * h
+        if 0 <= p < n:
+            code += int(weights[j])
+    head = (slice(None),) * axis
+    for j, (o, c) in enumerate(zip(offsets, table[code])):
+        p = min(max(t + int(o) * h, 0), n - 1)
+        src = view[head + (slice(p, p + 1),)]  # length-1 slice: stays an array
+        if j == 0:
+            np.multiply(src, c, out=out_row)
+        else:
+            out_row += src * c
+
+
+def _predict_fast(rec, axis, slices, targets, h, fit):
+    """Unmasked fast path of :func:`_predict` — bit-identical predictions.
+
+    Interior target rows (all references in bounds) are computed from
+    strided views with the scalar full-validity coefficients: the same
+    multiplies and left-to-right additions as the reference kernel's
+    ``(refs * coeffs).sum(axis)`` (NumPy reduces a length-2/4 axis
+    sequentially), without materializing the ``(T, R)`` gather or the
+    per-point coefficient table rows. Edge rows (at most three per pass)
+    take the same shape via :func:`_edge_row`'s per-row scalar stencil.
+    """
+    offsets = CUBIC_OFFSETS if fit == _FIT_CUBIC else LINEAR_OFFSETS
+    table = CUBIC_TABLE if fit == _FIT_CUBIC else LINEAR_TABLE
+    weights = _WEIGHTS4 if fit == _FIT_CUBIC else _WEIGHTS2
+    view = rec[slices]
+    n = view.shape[axis]
+    n_targets = targets.size
+    i0, i1 = _interior_rows(n, h, offsets, n_targets)
+    if i1 - i0 < 4:  # tiny pass: the view arithmetic is all overhead
+        return _predict(rec, None, axis, slices, targets, h, fit)
+    coeffs = table[(1 << len(offsets)) - 1]
+    block_shape = list(view.shape)
+    block_shape[axis] = n_targets
+    pred = np.empty(tuple(block_shape), dtype=np.float64)
+    head = (slice(None),) * axis
+    t0 = int(targets[i0])
+    t1 = int(targets[i1 - 1])
+    pred_int = pred[head + (slice(i0, i1),)]
+    for j, (o, c) in enumerate(zip(offsets, coeffs)):
+        src = view[head + (slice(t0 + int(o) * h, t1 + int(o) * h + 1, 2 * h),)]
+        if j == 0:
+            np.multiply(src, c, out=pred_int)
+        else:
+            pred_int += src * c
+    for i in list(range(i0)) + list(range(i1, n_targets)):
+        _edge_row(view, axis, int(targets[i]), h, offsets, table, weights, n,
+                  pred[head + (slice(i, i + 1),)])
+    return pred
+
+
 def _level_quantizer(spec: InterpSpec, eb: float, level_idx: int) -> LinearQuantizer:
     factor = 1.0
     if level_idx < len(spec.level_eb_factors):
@@ -190,6 +278,97 @@ def interp_compress(data: np.ndarray, eb: float, spec: InterpSpec,
     ``mask`` marks valid points (True); invalid points are excluded from the
     stream, never used as references, and reconstructed as 0.0 (callers
     restore fill values).
+
+    Unmasked data takes the fused predict+quantize fast path (strided-view
+    predictions, in-place quantization into one preallocated stream) which
+    is bit-identical to :func:`interp_compress_reference`, the retained
+    two-pass implementation that also serves as the differential-testing
+    oracle. Masked data always uses the reference path.
+    """
+    if mask is None:
+        return _interp_compress_fused(data, eb, spec)
+    return interp_compress_reference(data, eb, spec, mask=mask)
+
+
+def _interp_compress_fused(data: np.ndarray, eb: float,
+                           spec: InterpSpec) -> InterpResult:
+    """Fused predict+quantize pass (unmasked data only).
+
+    One code stream is preallocated up front (the dyadic traversal visits
+    every grid point exactly once, so its length is ``data.size``); each
+    (level, dim) pass predicts via :func:`_predict_fast` and quantizes
+    straight into its stream segment via
+    :meth:`~repro.quantization.linear.LinearQuantizer.quantize_into` —
+    no per-step code/residual arrays, no final concatenate.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    shape = data.shape
+    if len(spec.order) != data.ndim:
+        raise ValueError(f"spec.order has {len(spec.order)} dims, data has {data.ndim}")
+    rec = np.zeros_like(data)
+    codes_all = np.empty(data.size, dtype=np.int64)
+    unpred_parts: list[np.ndarray] = []
+    fit_choices: list[int] = []
+    auto = spec.fitting == "auto"
+    global_fit = _FIT_CUBIC if spec.fitting == "cubic" else _FIT_LINEAR
+
+    # --- anchor: origin, predicted as zero -------------------------------- #
+    origin = (0,) * data.ndim
+    q0 = _level_quantizer(spec, eb, 0)
+    codes, recv = q0.quantize(np.array([data[origin]]), np.zeros(1))
+    rec[origin] = recv[0]
+    codes_all[0] = codes[0]
+    off = 1
+    if codes[0] == UNPREDICTABLE:
+        unpred_parts.append(np.array([data[origin]]))
+
+    # --- levels ------------------------------------------------------------ #
+    for level_idx, s, h, k in interpolation_steps(shape, spec.order):
+        d, slices, targets = _step_geometry(shape, spec.order, s, h, k)
+        if targets.size == 0:
+            continue
+        quant = _level_quantizer(spec, eb, level_idx)
+        axis = d
+        # targets is arange(h, shape[d], 2h): a basic slice, so the target
+        # values and the reconstruction destination are zero-copy views.
+        tslice = (slice(None),) * axis + (
+            slice(int(targets[0]), int(targets[-1]) + 1, 2 * h),)
+        tvals = data[slices][tslice]
+
+        if auto:
+            pred_lin = _predict_fast(rec, axis, slices, targets, h, _FIT_LINEAR)
+            pred_cub = _predict_fast(rec, axis, slices, targets, h, _FIT_CUBIC)
+            err_lin = np.abs(tvals - pred_lin).sum()
+            err_cub = np.abs(tvals - pred_cub).sum()
+            fit = _FIT_CUBIC if err_cub <= err_lin else _FIT_LINEAR
+            fit_choices.append(fit)
+            pred = pred_cub if fit == _FIT_CUBIC else pred_lin
+        else:
+            pred = _predict_fast(rec, axis, slices, targets, h, global_fit)
+
+        codeseg = codes_all[off : off + pred.size].reshape(pred.shape)
+        recv, ok = quant.quantize_into(tvals, pred, codeseg)
+        rec[slices][tslice] = recv
+        off += pred.size
+        if not ok.all():
+            unpred_parts.append(tvals[~ok])
+
+    if off != codes_all.size:  # pragma: no cover - traversal covers the grid
+        raise AssertionError(
+            f"traversal covered {off} of {codes_all.size} points")
+    unpred_all = (
+        np.concatenate(unpred_parts) if unpred_parts else np.zeros(0, dtype=np.float64)
+    )
+    return InterpResult(codes_all, unpred_all, rec, fit_choices)
+
+
+def interp_compress_reference(data: np.ndarray, eb: float, spec: InterpSpec,
+                              mask: np.ndarray | None = None) -> InterpResult:
+    """Two-pass reference implementation (and masked-data path).
+
+    Kept as the differential-testing oracle for the fused fast path,
+    mirroring the Huffman scalar-decode oracle: simple, obviously-correct
+    full-size intermediates, identical output.
     """
     data = np.asarray(data, dtype=np.float64)
     shape = data.shape
@@ -326,7 +505,10 @@ def interp_decompress(shape: tuple[int, ...], eb: float, spec: InterpSpec,
             step_i += 1
         else:
             fit = global_fit
-        pred = _predict(rec, valid, axis, slices, targets, h, fit)
+        if valid is None:
+            pred = _predict_fast(rec, axis, slices, targets, h, fit)
+        else:
+            pred = _predict(rec, valid, axis, slices, targets, h, fit)
         tmask = valid[slices][tidx] if valid is not None else None
         if tmask is not None:
             n_valid = int(tmask.sum())

@@ -71,6 +71,44 @@ class LinearQuantizer:
         rec = np.where(ok, rec, values)
         return codes, rec
 
+    def quantize_into(self, values: np.ndarray, preds: np.ndarray,
+                      codes_out: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Fused variant of :meth:`quantize`: codes land in ``codes_out``.
+
+        Bit-identical to :meth:`quantize` (same operations in the same
+        order), but writes the int64 codes into the caller-provided
+        ``codes_out`` (shaped like ``values``, typically a view into a
+        preallocated stream) instead of allocating a fresh array, and
+        returns ``(reconstructed, ok)`` where ``ok`` marks predictable
+        points (``~ok`` selects the unpredictable values, in C order).
+        ``values`` may be a strided view; it is never written to.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        q = values - preds
+        np.divide(q, self._bin_width, out=q)
+        np.rint(q, out=q)
+        scratch = np.abs(q)
+        ok = scratch < self.radius  # in-range lanes (False for NaN, as in quantize)
+        np.logical_not(ok, out=ok)
+        np.copyto(q, 0.0, where=ok)  # zero out-of-range / non-finite lanes
+        np.logical_not(ok, out=ok)
+        rec = np.multiply(q, self._bin_width, out=scratch)
+        np.add(rec, preds, out=rec)
+        err = np.subtract(rec, values)
+        np.abs(err, out=err)
+        bound_ok = err <= self.error_bound
+        ok &= bound_ok
+        np.isfinite(rec, out=bound_ok)
+        ok &= bound_ok
+        # q is integer-valued and |q| < radius, so q + radius is exact and
+        # the int64 cast below truncates losslessly.
+        np.add(q, float(self.radius), out=q)
+        codes_out[...] = q
+        np.logical_not(ok, out=bound_ok)
+        np.copyto(codes_out, UNPREDICTABLE, where=bound_ok)
+        np.copyto(rec, values, where=bound_ok)
+        return rec, ok
+
     def dequantize(self, codes: np.ndarray, preds: np.ndarray,
                    unpredictable: np.ndarray) -> np.ndarray:
         """Reconstruct values from stream codes.

@@ -120,3 +120,34 @@ class TestRegistry:
         b.histogram("h", buckets=[1.0]).observe(0.5)
         a.merge(b.snapshot())
         assert a.histogram("h").count == 1
+
+    def test_merge_empty_histogram_keeps_local_min_max(self):
+        """An observation-free histogram (min/max None) must merge as a
+        no-op on the extrema, not clobber them or raise on ``min(None, x)``
+        — the shape a pool worker ships when it declared a histogram but
+        never observed into it."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=[1.0]).observe(0.5)
+        b.histogram("h", buckets=[1.0])  # declared, never observed
+        a.merge(b.snapshot())
+        h = a.histogram("h")
+        assert h.count == 1
+        assert h.min == 0.5 and h.max == 0.5
+
+    def test_merge_populated_into_empty_histogram(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=[1.0])  # local side has no observations
+        b.histogram("h", buckets=[1.0]).observe(2.5)
+        a.merge(b.snapshot())
+        h = a.histogram("h")
+        assert h.count == 1
+        assert h.min == 2.5 and h.max == 2.5
+
+    def test_merge_both_histograms_empty(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=[1.0])
+        b.histogram("h", buckets=[1.0])
+        a.merge(b.snapshot())
+        h = a.histogram("h")
+        assert h.count == 0
+        assert h.min is None and h.max is None

@@ -1,0 +1,135 @@
+"""Differential tests: fused predict+quantize vs the two-pass oracle.
+
+The fused fast path (:func:`interp_compress` on unmasked data) must be
+*bit-identical* to :func:`interp_compress_reference` — same code stream,
+same unpredictable values, same reconstruction, same auto-fit choices —
+across every layout, fitting mode, and masked/unmasked combination.
+This mirrors the PR 1 pattern of fuzzing the vectorized Huffman decoder
+against its retained scalar oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dims import apply_layout, enumerate_layouts
+from repro.prediction import (
+    InterpSpec,
+    interp_compress,
+    interp_compress_reference,
+    interp_decompress,
+)
+
+FITTINGS = ("linear", "cubic", "auto")
+
+
+def smooth_field(shape, seed=0, noise=0.02):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 3, n) for n in shape], indexing="ij")
+    out = sum(np.sin(g * (i + 1)) for i, g in enumerate(grids))
+    return np.asarray(out + noise * rng.standard_normal(shape), dtype=np.float64)
+
+
+def assert_identical(data, eb, spec, mask=None):
+    fused = interp_compress(data, eb, spec, mask=mask)
+    oracle = interp_compress_reference(data, eb, spec, mask=mask)
+    np.testing.assert_array_equal(fused.codes, oracle.codes)
+    np.testing.assert_array_equal(fused.unpredictable, oracle.unpredictable)
+    np.testing.assert_array_equal(fused.reconstructed, oracle.reconstructed)
+    assert fused.fit_choices == oracle.fit_choices
+    # and the stream decodes back to the (shared) reconstruction
+    choices = fused.fit_choices if spec.fitting == "auto" else None
+    dec = interp_decompress(data.shape, eb, spec, fused.codes,
+                            fused.unpredictable, mask=mask,
+                            fit_choices=choices)
+    np.testing.assert_array_equal(dec, fused.reconstructed)
+    return fused
+
+
+class TestAllLayouts:
+    """Every 3D (perm, fusion) layout: the shapes the CliZ tuner explores."""
+
+    @pytest.mark.parametrize("fitting", FITTINGS)
+    def test_every_layout_matches_oracle(self, fitting):
+        data = smooth_field((12, 10, 14), seed=1)
+        for layout in enumerate_layouts(3):
+            laid = apply_layout(data, layout)
+            spec = InterpSpec(order=tuple(range(laid.ndim)), fitting=fitting)
+            assert_identical(laid, 1e-3, spec)
+
+    def test_permuted_orders_match_oracle(self):
+        data = smooth_field((9, 16, 11), seed=2)
+        for order in [(0, 1, 2), (2, 1, 0), (1, 2, 0)]:
+            spec = InterpSpec(order=order, fitting="cubic")
+            assert_identical(data, 1e-3, spec)
+
+
+class TestMaskedUnmasked:
+    @pytest.mark.parametrize("fitting", FITTINGS)
+    def test_unmasked(self, fitting):
+        data = smooth_field((17, 23), seed=3)
+        spec = InterpSpec(order=(0, 1), fitting=fitting)
+        assert_identical(data, 1e-3, spec)
+
+    @pytest.mark.parametrize("fitting", FITTINGS)
+    def test_masked(self, fitting):
+        data = smooth_field((17, 23), seed=4)
+        rng = np.random.default_rng(4)
+        mask = rng.random(data.shape) > 0.3
+        spec = InterpSpec(order=(0, 1), fitting=fitting)
+        assert_identical(data, 1e-3, spec, mask=mask)
+
+    def test_unpredictable_heavy_stream(self):
+        """Tiny eb + heavy noise: lots of escapes, both paths agree."""
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal((31, 18)) * 100.0
+        spec = InterpSpec(order=(0, 1), fitting="cubic")
+        fused = assert_identical(data, 1e-9, spec)
+        assert fused.unpredictable.size > 0
+
+    def test_nonfinite_values_escape_identically(self):
+        data = smooth_field((16, 12), seed=6)
+        data[3, 4] = np.inf
+        data[7, 7] = np.nan
+        spec = InterpSpec(order=(0, 1), fitting="cubic")
+        fused = assert_identical(data, 1e-3, spec)
+        assert fused.unpredictable.size >= 2
+
+
+class TestGeometryEdges:
+    """Shapes that stress the interior/edge row split of the fast path."""
+
+    @pytest.mark.parametrize("shape", [
+        (1,), (2,), (3,), (4,), (5,), (7,), (8,), (9,), (16,), (17,),
+        (1, 1), (1, 9), (2, 2), (3, 1, 4), (5, 6, 7, 2),
+    ])
+    def test_small_and_degenerate_shapes(self, shape):
+        data = smooth_field(shape, seed=7)
+        for fitting in FITTINGS:
+            spec = InterpSpec(order=tuple(range(len(shape))), fitting=fitting)
+            assert_identical(data, 1e-3, spec)
+
+    def test_level_eb_factors_and_radius(self):
+        data = smooth_field((33, 14), seed=8)
+        spec = InterpSpec(order=(0, 1), fitting="cubic",
+                          level_eb_factors=(0.25, 0.5), radius=64)
+        assert_identical(data, 1e-3, spec)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    shape=st.lists(st.integers(1, 24), min_size=1, max_size=3).map(tuple),
+    fitting=st.sampled_from(FITTINGS),
+    seed=st.integers(0, 2**16),
+    log_eb=st.integers(-6, -1),
+    masked=st.booleans(),
+)
+def test_fuzz_fused_matches_oracle(shape, fitting, seed, log_eb, masked):
+    rng = np.random.default_rng(seed)
+    data = smooth_field(shape, seed=seed, noise=0.1)
+    mask = None
+    if masked:
+        mask = rng.random(shape) > 0.25
+    spec = InterpSpec(order=tuple(range(len(shape))), fitting=fitting)
+    assert_identical(data, 10.0 ** log_eb, spec, mask=mask)

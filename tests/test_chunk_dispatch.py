@@ -1,0 +1,308 @@
+"""Chunk-dispatch internals: shm lifecycle, codebook reuse, timeouts, geometry.
+
+Covers the PR 6 dispatch rework: zero-copy shared-memory chunk payloads
+(with unlink guaranteed on every exit path), Huffman codebook reuse
+across chunk jobs, the off-main-thread timeout fallback, and the chunk
+slicing / header geometry edge cases.
+"""
+
+import os
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.parallel as par
+from repro import obs
+from repro.encoding.codebook import CodebookCache, activate, active_cache
+from repro.parallel import (
+    ParallelJobError,
+    _chunk_array,
+    _chunk_slices,
+    _ShmArena,
+    _ShmSlice,
+    compress_chunked,
+    decompress_chunked,
+)
+
+
+def field(shape=(32, 24, 20), seed=0):
+    rng = np.random.default_rng(seed)
+    grids = np.meshgrid(*[np.linspace(0, 3, n) for n in shape], indexing="ij")
+    return sum(np.sin(g) for g in grids) + 0.01 * rng.standard_normal(shape)
+
+
+def shm_segments() -> set[str]:
+    """Names of live POSIX shm segments created by this interpreter family."""
+    try:
+        return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory payloads and their lifecycle.
+
+class TestShmLifecycle:
+    def test_chunk_array_owns_its_bytes(self):
+        """The materialized chunk must survive segment close AND unlink —
+        an axis-0 slice of a C-contiguous array is already contiguous, so
+        a naive ascontiguousarray would alias the mapped buffer."""
+        arr = np.arange(200, dtype=np.float64).reshape(10, 20)
+        arena = _ShmArena()
+        try:
+            name, shape, dtype = arena.share(arr)
+            desc = _ShmSlice(name, shape, dtype, 0, 2, 7)
+            out = _chunk_array(desc)
+        finally:
+            arena.close()
+        assert out.flags["OWNDATA"] or out.base is None or \
+            not isinstance(out.base, np.ndarray) or out.base.flags["OWNDATA"]
+        np.testing.assert_array_equal(out, arr[2:7])  # read after unlink
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_chunk_array_slices_any_axis(self, axis):
+        arr = np.arange(60, dtype=np.float64).reshape(6, 10)
+        arena = _ShmArena()
+        try:
+            name, shape, dtype = arena.share(arr)
+            sel = (slice(None),) * axis + (slice(1, 4),)
+            out = _chunk_array(_ShmSlice(name, shape, dtype, axis, 1, 4))
+            np.testing.assert_array_equal(out, arr[sel])
+        finally:
+            arena.close()
+
+    def test_plain_ndarray_passthrough(self):
+        arr = np.ones(4)
+        assert _chunk_array(arr) is arr
+
+    def test_arena_unlinks_on_close(self):
+        before = shm_segments()
+        arena = _ShmArena()
+        arena.share(np.zeros((4, 4)))
+        arena.share(np.ones(8, dtype=bool))
+        assert len(shm_segments() - before) == 2
+        arena.close()
+        assert shm_segments() <= before
+
+    def test_pool_dispatch_leaves_no_segments(self):
+        before = shm_segments()
+        data = field(seed=11)
+        blob = compress_chunked(data, "sz3", n_chunks=4, workers=2, abs_eb=1e-3)
+        assert shm_segments() <= before
+        assert np.abs(decompress_chunked(blob) - data).max() <= 1e-3
+
+    def test_segments_unlinked_after_worker_crash(self):
+        """An exhausted crash fault aborts the dispatch; the finally
+        block must still unlink every parent-side segment."""
+        before = shm_segments()
+        with pytest.raises((ParallelJobError, Exception)):
+            compress_chunked(field(seed=12), "sz3", n_chunks=4, workers=2,
+                             abs_eb=1e-3, retries=0,
+                             faults="seed=1;crash:only=2:attempts=9")
+        assert shm_segments() <= before
+
+    def test_segments_unlinked_after_timeout(self):
+        before = shm_segments()
+        with pytest.raises(TimeoutError):
+            compress_chunked(field(seed=13), "sz3", n_chunks=3, workers=2,
+                             abs_eb=1e-3, timeout=0.05, retries=0,
+                             faults="seed=1;slow:only=1:delay=0.5")
+        assert shm_segments() <= before
+
+
+# ---------------------------------------------------------------------- #
+# Huffman codebook reuse across chunks.
+
+class TestCodebookReuse:
+    def test_recording_then_reuse(self):
+        syms = np.arange(20, dtype=np.int64) % 7
+        rec = CodebookCache()
+        code0 = rec.code_for("stream", syms)
+        frozen = CodebookCache(rec.state())
+        code1 = frozen.code_for("stream", syms)
+        np.testing.assert_array_equal(code0.lengths, code1.lengths)
+        assert rec.recording and not frozen.recording
+
+    def test_uncoverable_symbols_fall_back_to_rebuild(self):
+        rec = CodebookCache()
+        rec.code_for("stream", np.array([1, 2, 3], dtype=np.int64))
+        frozen = CodebookCache(rec.state())
+        # way outside the recorded (padded) alphabet: must rebuild, not fail
+        wild = np.array([1, 2, 100_000], dtype=np.int64)
+        code = frozen.code_for("stream", wild)
+        assert code.alphabet_size > 100_000
+        from repro.encoding.bitstream import BitWriter
+        writer = BitWriter()
+        code.encode(wild, writer)  # decodable: every symbol has a codeword
+
+    def test_sequence_keys_distinguish_call_sites(self):
+        rec = CodebookCache()
+        rec.code_for("group0", np.array([1, 1, 2], dtype=np.int64))
+        rec.code_for("group1", np.array([5, 5, 6], dtype=np.int64))
+        state = rec.state()
+        assert set(state) == {"group0:0", "group1:1"}
+
+    def test_corrupt_state_rejected(self):
+        with pytest.raises(ValueError):
+            CodebookCache({"stream:0": (3, b"\x01")})  # lengths size != alphabet
+
+    def test_activation_is_scoped(self):
+        assert active_cache() is None
+        cache = CodebookCache()
+        with activate(cache):
+            assert active_cache() is cache
+        assert active_cache() is None
+
+    def test_chunked_counters_record_decisions(self):
+        data = field((40, 16, 12), seed=14)
+        with obs.run() as run:
+            blob = compress_chunked(data, "cliz", n_chunks=4, abs_eb=1e-3)
+        snap = run.metrics.snapshot()
+        built = snap.get("huffman.codebook_built", {}).get("value", 0)
+        reused = snap.get("huffman.codebook_reused", {}).get("value", 0)
+        rebuilt = snap.get("huffman.codebook_rebuilt", {}).get("value", 0)
+        assert built >= 1  # chunk 0 records
+        assert reused + rebuilt >= 3  # every later chunk decided
+        assert np.abs(decompress_chunked(blob) - data).max() <= 1e-3
+
+    def test_reuse_fires_on_homogeneous_chunks(self):
+        """Near-identical chunk distributions must actually hit the cache
+        (the point of the feature), not permanently fall back."""
+        base = field((8, 16, 12), seed=15)
+        data = np.concatenate([base] * 4, axis=0)
+        with obs.run() as run:
+            compress_chunked(data, "cliz", n_chunks=4, abs_eb=1e-3)
+        reused = run.metrics.snapshot().get(
+            "huffman.codebook_reused", {}).get("value", 0)
+        assert reused >= 3
+
+    def test_streams_stay_self_describing(self):
+        """A chunked blob decodes with no cache in scope: the (reused)
+        tables are still serialized per chunk."""
+        data = field(seed=16)
+        blob = compress_chunked(data, "cliz", n_chunks=4, abs_eb=1e-3)
+        assert active_cache() is None
+        assert np.abs(decompress_chunked(blob) - data).max() <= 1e-3
+
+
+# ---------------------------------------------------------------------- #
+# S1: per-job timeout off the main thread.
+
+class TestThreadTimeoutFallback:
+    def _dispatch_in_thread(self, **kwargs):
+        box = {}
+
+        def target():
+            try:
+                box["result"] = compress_chunked(
+                    field((12, 8, 8), seed=17), "sz3", n_chunks=2,
+                    abs_eb=1e-2, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - relayed to the test
+                box["error"] = exc
+
+        t = threading.Thread(target=target)
+        t.start()
+        t.join(60)
+        assert not t.is_alive()
+        return box
+
+    def test_overrun_surfaces_as_timeout_error(self, monkeypatch):
+        """The old behaviour silently skipped the timeout budget off the
+        main thread; an overrunning job must now fail retryably."""
+        monkeypatch.setattr(par, "_timeout_fallback_warned", False)
+        with obs.run() as run:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                box = self._dispatch_in_thread(
+                    timeout=0.05, retries=0,
+                    faults="seed=1;slow:delay=0.3")
+        assert isinstance(box.get("error"), TimeoutError)
+        assert "post-hoc" in str(box["error"])
+        snap = run.metrics.snapshot()
+        assert snap["parallel.timeout_unenforced"]["value"] >= 1
+        assert snap["parallel.timeouts"]["value"] >= 1
+        assert any(issubclass(w.category, RuntimeWarning) and
+                   "SIGALRM" in str(w.message) for w in caught)
+
+    def test_warning_is_one_shot(self, monkeypatch):
+        monkeypatch.setattr(par, "_timeout_fallback_warned", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            box = self._dispatch_in_thread(timeout=30.0)
+        assert "result" in box
+        runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)
+                   and "SIGALRM" in str(w.message)]
+        assert len(runtime) == 1  # one warning, not one per job
+
+    def test_fast_jobs_still_succeed_off_main_thread(self, monkeypatch):
+        monkeypatch.setattr(par, "_timeout_fallback_warned", True)
+        box = self._dispatch_in_thread(timeout=30.0)
+        data = field((12, 8, 8), seed=17)
+        assert np.abs(decompress_chunked(box["result"]) - data).max() <= 1e-2
+
+
+# ---------------------------------------------------------------------- #
+# S3: chunk slicing and header geometry.
+
+class TestChunkGeometry:
+    @pytest.mark.parametrize("n,k", [(1, 1), (1, 5), (3, 8), (7, 7), (10, 3)])
+    def test_chunk_slices_partition(self, n, k):
+        slices = _chunk_slices(n, k)
+        assert all(sl.stop > sl.start for sl in slices)  # no size-0 chunks
+        assert slices[0].start == 0 and slices[-1].stop == n
+        for a, b in zip(slices[:-1], slices[1:]):
+            assert a.stop == b.start
+        assert len(slices) == min(n, k)
+
+    @pytest.mark.parametrize("axis", [1, 2])
+    def test_roundtrip_more_chunks_than_axis(self, axis):
+        data = field((6, 3, 4), seed=18)
+        blob = compress_chunked(data, "sz3", axis=axis, n_chunks=9, abs_eb=1e-2)
+        out = decompress_chunked(blob)
+        assert out.shape == data.shape
+        assert np.abs(out - data).max() <= 1e-2
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_roundtrip_one_element_axis(self, axis):
+        shape = [5, 5, 5]
+        shape[axis] = 1
+        data = field(tuple(shape), seed=19)
+        blob = compress_chunked(data, "sz3", axis=axis, n_chunks=4, abs_eb=1e-2)
+        out = decompress_chunked(blob)
+        assert out.shape == data.shape
+        assert np.abs(out - data).max() <= 1e-2
+
+    def test_roundtrip_nonzero_axis_parallel(self):
+        data = field(seed=20)
+        serial = compress_chunked(data, "sz3", axis=2, n_chunks=4, abs_eb=1e-3)
+        parallel = compress_chunked(data, "sz3", axis=2, n_chunks=4,
+                                    workers=2, abs_eb=1e-3)
+        assert serial == parallel
+        assert np.abs(decompress_chunked(parallel) - data).max() <= 1e-3
+
+    def test_header_rejects_more_chunks_than_axis(self):
+        from repro.encoding.container import CorruptStreamError
+        from repro.parallel import _validate_chunked_header
+        with pytest.raises(CorruptStreamError):
+            _validate_chunked_header(
+                {"n_chunks": 9, "axis": 0, "shape": [3, 4]})
+
+    def test_fault_only_indexing_spans_waves(self):
+        """``only=N`` fault clauses address logical chunk indices even
+        though dispatch happens in two waves (chunk 0 then the rest)."""
+        with obs.run() as run:
+            blob = compress_chunked(field(seed=21), "sz3", n_chunks=4,
+                                    abs_eb=1e-3, retries=2,
+                                    faults="seed=7;crash:only=1")
+        assert run.metrics.counter("parallel.retries").value >= 1
+        data = field(seed=21)
+        assert np.abs(decompress_chunked(blob) - data).max() <= 1e-3
+
+    def test_fault_on_chunk_zero_still_recovers(self):
+        blob = compress_chunked(field(seed=22), "sz3", n_chunks=4,
+                                abs_eb=1e-3, retries=2,
+                                faults="seed=7;crash:only=0")
+        data = field(seed=22)
+        assert np.abs(decompress_chunked(blob) - data).max() <= 1e-3
