@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import statistics
 import sys
 import time
 from pathlib import Path
@@ -142,8 +141,13 @@ def check_regression(current: list[dict], baseline: list[dict],
 
     Ratios (current/baseline) are normalized by their median so a
     uniformly faster/slower machine does not trip the gate; any single
-    row slower than ``(1 - tolerance) * median`` is a regression.
+    row slower than ``(1 - tolerance) * median`` is a regression. The
+    verdict itself lives in
+    :func:`repro.obs.report.normalized_regressions` — the same code
+    ``repro obs diff`` runs, so the offline CLI reproduces this gate.
     """
+    from repro.obs.report import normalized_regressions
+
     base_by_key = {_row_key(r): r for r in baseline}
     ratios: list[tuple[str, float]] = []
     for row in current:
@@ -154,17 +158,7 @@ def check_regression(current: list[dict], baseline: list[dict],
             if base.get(metric) and row.get(metric):
                 label = f"{row['codec']}/{row['dataset']}/{metric}"
                 ratios.append((label, row[metric] / base[metric]))
-    if not ratios:
-        return ["regression gate: no comparable rows between current run "
-                "and baseline (codec/dataset sets disjoint?)"]
-    median = statistics.median(r for _, r in ratios)
-    floor = (1.0 - tolerance) * median
-    return [
-        f"{label}: {ratio:.2f}x vs baseline is below the gate floor "
-        f"{floor:.2f}x (median machine factor {median:.2f}x, "
-        f"tolerance {tolerance:.0%})"
-        for label, ratio in ratios if ratio < floor
-    ]
+    return normalized_regressions(ratios, tolerance)
 
 
 def _baseline_rows(doc: dict, smoke: bool) -> list[dict]:

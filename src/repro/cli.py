@@ -10,6 +10,7 @@ assess        quality report: original vs reconstructed (Z-checker style)
 dataset       generate one of the synthetic Table-III datasets
 experiment    run one of the paper's experiment harnesses
 sweep         kill-resumable experiment sweep (crash-consistent ledger)
+obs           offline telemetry analysis (report / top / critical-path / diff)
 codecs        list registered codecs
 
 Examples
@@ -53,14 +54,27 @@ def _eb_kwargs(args) -> dict:
 
 # ------------------------------------------------------------------- #
 def _obs_begin(args):
-    """Start an observability run if --profile / any telemetry sink is set."""
-    wanted = (getattr(args, "profile", False) or getattr(args, "trace_out", None)
-              or getattr(args, "metrics_out", None) or getattr(args, "chrome_out", None))
+    """Start an observability run if --profile / any telemetry sink is set.
+
+    ``--serve-metrics PORT`` additionally starts the live HTTP exporter
+    (Prometheus ``/metrics`` + ``/health`` + ``/snapshot``) for the
+    duration of the command; it is stopped in :func:`_obs_end`.
+    """
+    serve = getattr(args, "serve_metrics", None) is not None
+    wanted = (serve or getattr(args, "profile", False)
+              or getattr(args, "trace_out", None)
+              or getattr(args, "metrics_out", None)
+              or getattr(args, "chrome_out", None))
     if not wanted:
         return None
     from repro import obs
 
-    return obs.start_run(tags={"command": args.command})
+    run = obs.start_run(tags={"command": args.command})
+    if serve:
+        from repro.obs.server import serve_from_args
+
+        args._metrics_server = serve_from_args(args)
+    return run
 
 
 def _obs_end(args, run) -> None:
@@ -70,6 +84,9 @@ def _obs_end(args, run) -> None:
     from repro import obs
     from repro.utils.profiling import format_profile
 
+    server = getattr(args, "_metrics_server", None)
+    if server is not None:
+        server.stop()
     obs.end_run()
     if getattr(args, "profile", False):
         print("\nper-stage profile:", file=sys.stderr)
@@ -263,6 +280,12 @@ def cmd_sweep(args) -> int:
     return sweep.run_from_args(args)
 
 
+def cmd_obs(args) -> int:
+    from repro.obs import report
+
+    return report.run_from_args(args)
+
+
 def cmd_codecs(args) -> int:
     from repro import COMPRESSORS
 
@@ -306,6 +329,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--chrome-out", default=None, metavar="FILE",
                        help="write a Chrome-trace JSON file "
                             "(chrome://tracing / ui.perfetto.dev)")
+        p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                       help="serve live telemetry over HTTP while the command "
+                            "runs (Prometheus /metrics; 0 = ephemeral port)")
 
     p = sub.add_parser("compress", help="compress a .npy array")
     p.add_argument("input"), p.add_argument("output")
@@ -373,6 +399,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_sweep_args(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "obs",
+        help="offline telemetry analysis: report / top / critical-path / diff")
+    from repro.obs.report import add_arguments as _add_obs_args
+
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_obs)
 
     p = sub.add_parser("codecs", help="list registered codecs")
     p.set_defaults(func=cmd_codecs)

@@ -299,6 +299,25 @@ def _delay(backoff: float, attempt: int) -> float:
     return min(backoff * (2.0 ** (attempt - 1)), 2.0)
 
 
+def _update_live_progress(report: SweepReport, remaining: int,
+                          exec_seconds: float) -> None:
+    """Refresh the sweep's live progress gauges after each cell.
+
+    ``sweep.eta_seconds`` is the mean executed-cell duration times the
+    remaining cell count — crude but honest, and it converges as the
+    sweep runs. All of this lands on ``/metrics`` when the sweep was
+    started with ``--serve-metrics``.
+    """
+    from repro import obs
+
+    obs.set_gauge("sweep.progress.done", report.executed)
+    obs.set_gauge("sweep.progress.failed", report.failed)
+    obs.set_gauge("sweep.progress.pending", remaining)
+    if report.executed:
+        obs.set_gauge("sweep.eta_seconds",
+                      exec_seconds / report.executed * remaining)
+
+
 def run_sweep(out, cells: list[SweepCell], *, resume: bool = False,
               faults=None, retries: int = 0, retry_backoff: float = 0.05,
               deadline: float | None = None, breaker_threshold: int = 3,
@@ -361,6 +380,7 @@ def run_sweep(out, cells: list[SweepCell], *, resume: bool = False,
         pending.append((idx, cell))
 
     # ----- execute ----------------------------------------------------- #
+    exec_seconds = 0.0
     with obs.span("sweep", n_cells=len(plan), pending=len(pending)):
         for pos, (idx, cell) in enumerate(pending):
             if deadline is not None and time.monotonic() - t0 > deadline:
@@ -380,6 +400,7 @@ def run_sweep(out, cells: list[SweepCell], *, resume: bool = False,
             directive = faults.job_faults("sweep", idx) if faults is not None \
                 else None
             attempt = 1
+            t_cell = time.monotonic()
             while True:
                 ledger.running(cid, attempt)
                 try:
@@ -401,6 +422,10 @@ def run_sweep(out, cells: list[SweepCell], *, resume: bool = False,
                     atomic_write(out / artifact, blob, fsync=fsync, kill=kill)
                     ledger.done(cid, artifact, blake2b_bytes(blob), attempt)
                     obs.inc_counter("sweep.cells_done")
+                    cell_dur = time.monotonic() - t_cell
+                    exec_seconds += cell_dur
+                    obs.observe_latency("sweep.cell", cell_dur)
+                    obs.mark_rate("sweep.cells")
                     report.executed += 1
                     breaker.record(cell, True)
                     break
@@ -423,8 +448,10 @@ def run_sweep(out, cells: list[SweepCell], *, resume: bool = False,
                             obs.set_gauge(f"sweep.breaker_open.{subject}", 1.0)
                         break
                     obs.inc_counter("sweep.retries")
+                    obs.mark_rate("sweep.retries")
                     time.sleep(_delay(retry_backoff, attempt))
                     attempt += 1
+            _update_live_progress(report, len(pending) - pos - 1, exec_seconds)
 
     # ----- collect artifacts (plan order) and the aggregate result ----- #
     final = replay_ledger(ledger.path)
@@ -493,6 +520,10 @@ def add_arguments(p: argparse.ArgumentParser) -> None:
                    help="write sweep trace spans as JSONL")
     p.add_argument("--metrics-out", default=None, metavar="FILE",
                    help="write sweep metrics (ledger/breaker counters) as JSONL")
+    p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                   help="serve live telemetry over HTTP while the sweep runs "
+                        "(Prometheus /metrics plus /health and /snapshot; "
+                        "0 binds an ephemeral port)")
 
 
 def run_from_args(args) -> int:
@@ -508,13 +539,23 @@ def run_from_args(args) -> int:
         cells += plan_experiments(_csv(args.experiments), seed=args.seed,
                                   priority_base=len(cells))
     faults = parse_fault_spec(args.inject_faults) if args.inject_faults else None
+    serve = getattr(args, "serve_metrics", None) is not None
     run = obs.start_run(tags={"command": "sweep"}) \
-        if (args.trace_out or args.metrics_out) else None
-    report = run_sweep(args.out, cells, resume=args.resume, faults=faults,
-                       retries=args.retries, retry_backoff=args.retry_backoff,
-                       deadline=args.deadline,
-                       breaker_threshold=args.breaker_threshold,
-                       fsync=not args.no_fsync)
+        if (args.trace_out or args.metrics_out or serve) else None
+    server = None
+    if serve:
+        from repro.obs.server import serve_from_args
+
+        server = serve_from_args(args)
+    try:
+        report = run_sweep(args.out, cells, resume=args.resume, faults=faults,
+                           retries=args.retries, retry_backoff=args.retry_backoff,
+                           deadline=args.deadline,
+                           breaker_threshold=args.breaker_threshold,
+                           fsync=not args.no_fsync)
+    finally:
+        if server is not None:
+            server.stop()
     if run is not None:
         obs.end_run()
         if args.trace_out:

@@ -3,6 +3,12 @@
 See ``docs/OBSERVABILITY.md`` for the span model, metric names, and sink
 formats. The package is dependency-free and safe to import from any layer;
 with no active run every hook is a near-free no-op.
+
+Live telemetry rides on the same run: streaming aggregates in
+:mod:`repro.obs.live` (EWMA rates, sliding windows, P² quantiles), the
+Prometheus renderer in :mod:`repro.obs.prom`, the asyncio ``/metrics``
+exporter in :mod:`repro.obs.server`, and the offline analysis CLI in
+:mod:`repro.obs.report` (``python -m repro obs ...``).
 """
 
 from repro.obs.instrument import (
@@ -10,13 +16,23 @@ from repro.obs.instrument import (
     traced_compress,
     traced_decompress,
 )
+from repro.obs.live import (
+    EwmaMeter,
+    LatencySummary,
+    LiveRegistry,
+    P2Quantile,
+    RingWindow,
+)
 from repro.obs.metrics import (
+    SCHEMA_VERSION,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     exponential_buckets,
+    latency_buckets,
 )
+from repro.obs.prom import render_registry, render_run
 from repro.obs.sinks import (
     JsonlSink,
     MemorySink,
@@ -36,7 +52,10 @@ from repro.obs.trace import (
     get_run,
     inc_counter,
     last_run,
+    mark_rate,
     observe,
+    observe_latency,
+    observe_window,
     run,
     set_gauge,
     set_tag,
@@ -59,11 +78,23 @@ __all__ = [
     "inc_counter",
     "set_gauge",
     "observe",
+    "mark_rate",
+    "observe_latency",
+    "observe_window",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "exponential_buckets",
+    "latency_buckets",
+    "SCHEMA_VERSION",
+    "EwmaMeter",
+    "RingWindow",
+    "P2Quantile",
+    "LatencySummary",
+    "LiveRegistry",
+    "render_registry",
+    "render_run",
     "JsonlSink",
     "MemorySink",
     "load_jsonl",

@@ -21,8 +21,15 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "exponential_buckets",
+    "latency_buckets",
     "DEFAULT_BUCKETS",
+    "SCHEMA_VERSION",
 ]
+
+#: Version stamped on every exported JSONL line (``"schema": 1``).
+#: Readers accept lines without the field (pre-versioning files) and any
+#: version <= the current one; see ``repro.obs.sinks``.
+SCHEMA_VERSION = 1
 
 
 def exponential_buckets(start: float, factor: float, count: int) -> list[float]:
@@ -36,34 +43,53 @@ def exponential_buckets(start: float, factor: float, count: int) -> list[float]:
 DEFAULT_BUCKETS = exponential_buckets(0.001, 4.0, 16)  # 1e-3 .. ~1e6
 
 
+def latency_buckets() -> list[float]:
+    """Bucket edges tuned for second-scale durations: 100 µs .. ~105 s.
+
+    ``DEFAULT_BUCKETS`` (factor 4, 1e-3..1e6) collapses every realistic
+    span latency into three or four buckets, which makes ``/metrics``
+    histogram quantiles meaningless. Duration histograms use these
+    factor-2 edges instead: 21 buckets from 0.1 ms to ~105 s.
+    """
+    return exponential_buckets(1e-4, 2.0, 21)
+
+
 class Counter:
-    """Monotonic counter."""
+    """Monotonic counter (thread-safe: ``inc`` holds a per-metric lock)."""
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, value: int = 1) -> None:
         if value < 0:
             raise ValueError("counters only go up")
-        self.value += value
+        # += on an attribute is a read-modify-write of several bytecodes;
+        # two threads interleaving it lose increments, hence the lock.
+        with self._lock:
+            self.value += value
 
     def to_record(self) -> dict:
-        return {"type": "counter", "name": self.name, "value": self.value}
+        return {"schema": SCHEMA_VERSION, "type": "counter",
+                "name": self.name, "value": self.value}
 
 
 class Gauge:
-    """Last-write-wins instantaneous value."""
+    """Last-write-wins instantaneous value (thread-safe)."""
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value: float | None = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def to_record(self) -> dict:
-        return {"type": "gauge", "name": self.name, "value": self.value}
+        return {"schema": SCHEMA_VERSION, "type": "gauge",
+                "name": self.name, "value": self.value}
 
 
 class Histogram:
@@ -86,15 +112,19 @@ class Histogram:
         self.sum = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        # bisect_left finds the first edge >= value (edges inclusive, "le").
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        # One lock for the whole update: counts/count/sum/min/max must
+        # stay mutually consistent for concurrent observers and mergers.
+        with self._lock:
+            # bisect_left finds the first edge >= value (edges inclusive, "le").
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
 
     @property
     def mean(self) -> float | None:
@@ -102,6 +132,7 @@ class Histogram:
 
     def to_record(self) -> dict:
         return {
+            "schema": SCHEMA_VERSION,
             "type": "histogram",
             "name": self.name,
             "buckets": self.buckets,
@@ -174,14 +205,16 @@ class MetricsRegistry:
                     raise ValueError(
                         f"histogram {name!r} bucket edges differ; cannot merge"
                     )
-                for i, c in enumerate(rec["counts"]):
-                    hist.counts[i] += int(c)
-                hist.count += int(rec["count"])
-                hist.sum += float(rec["sum"])
-                for attr, fold in (("min", min), ("max", max)):
-                    other = rec.get(attr)
-                    if other is not None:
-                        ours = getattr(hist, attr)
-                        setattr(hist, attr, other if ours is None else fold(ours, other))
+                with hist._lock:  # folds must not interleave with observe()
+                    for i, c in enumerate(rec["counts"]):
+                        hist.counts[i] += int(c)
+                    hist.count += int(rec["count"])
+                    hist.sum += float(rec["sum"])
+                    for attr, fold in (("min", min), ("max", max)):
+                        other = rec.get(attr)
+                        if other is not None:
+                            ours = getattr(hist, attr)
+                            setattr(hist, attr,
+                                    other if ours is None else fold(ours, other))
             else:
                 raise ValueError(f"unknown metric type {kind!r} for {name!r}")

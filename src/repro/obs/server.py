@@ -1,0 +1,226 @@
+"""Asyncio ``/metrics`` exporter: live telemetry over plain HTTP.
+
+A tiny stdlib-only HTTP server (``asyncio.start_server``; no framework)
+that exposes the process's active observability run while it works:
+
+* ``GET /metrics``  — Prometheus text exposition 0.0.4 rendered from the
+  run's metrics registry *and* live aggregates (EWMA rates, span-latency
+  p50/p95/p99, queue-depth windows). Scrape it with Prometheus, or just
+  ``curl`` it — the format is human-readable.
+* ``GET /health``   — liveness JSON: status, pid, run id, span count.
+* ``GET /snapshot`` — the full registry + live snapshot as JSON (the
+  machine-readable sibling of ``/metrics``).
+
+The server runs its event loop on a daemon thread so synchronous
+workloads (the sweep driver, experiment harnesses) stay untouched; all
+shared state it reads is lock-protected (see :mod:`repro.obs.metrics` /
+:mod:`repro.obs.live`). Long-running CLI subcommands start one with
+``--serve-metrics PORT``; ``python -m repro.obs.server`` runs a
+standalone exporter (mostly useful for poking at the endpoints).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+
+from repro.obs import trace
+from repro.obs.prom import CONTENT_TYPE, render_run
+
+__all__ = ["MetricsServer", "serve_from_args", "main"]
+
+_MAX_HEADER_LINES = 100
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/health`` + ``/snapshot`` HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the real one from ``.port``
+    after :meth:`start`. ``run_provider`` defaults to
+    :func:`repro.obs.last_run`, so the server always serves the run the
+    process is currently collecting into (or the one just finished).
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1", *,
+                 run_provider=None, prefix: str = "repro_") -> None:
+        self.host = host
+        self.requested_port = int(port)
+        self.port: int | None = None
+        self.prefix = prefix
+        self.run_provider = run_provider or trace.last_run
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    def start(self) -> "MetricsServer":
+        """Bind and serve on a daemon thread; returns self when ready."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve()),
+            name="repro-metrics-server", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("metrics server failed to start within 10s")
+        if self._error is not None:
+            self._thread.join()
+            raise RuntimeError(
+                f"metrics server failed to bind {self.host}:"
+                f"{self.requested_port}") from self._error
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already closed
+                pass
+        self._thread.join(timeout=10.0)
+        self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    async def _serve(self) -> None:
+        self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        try:
+            server = await asyncio.start_server(
+                self._handle, self.host, self.requested_port)
+        except OSError as exc:
+            self._error = exc
+            self._started.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with server:
+            await self._stop.wait()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2:
+                raise ValueError("malformed request line")
+            method, target = parts[0], parts[1]
+            for _ in range(_MAX_HEADER_LINES):  # drain headers
+                line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, ctype, body = self._route(method, target.split("?", 1)[0])
+        # a broken scrape must never take the exporter down with it — any
+        # handler error degrades to a 500 response (or a dropped conn).
+        except Exception as exc:  # noqa: BLE001
+            status, ctype = 500, "text/plain; charset=utf-8"
+            body = f"internal error: {type(exc).__name__}: {exc}\n"
+        reason = {200: "OK", 404: "Not Found", 405: "Method Not Allowed",
+                  500: "Internal Server Error"}.get(status, "Error")
+        payload = body.encode("utf-8")
+        head = (f"HTTP/1.1 {status} {reason}\r\n"
+                f"Content-Type: {ctype}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        try:
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # client went away mid-response
+            pass
+
+    # ------------------------------------------------------------------ #
+    def _route(self, method: str, path: str) -> tuple[int, str, str]:
+        if method != "GET":
+            return 405, "text/plain; charset=utf-8", "only GET is supported\n"
+        run = self.run_provider()
+        if run is not None:
+            run.metrics.counter("obs.server.requests").inc()
+        if path == "/metrics":
+            return 200, CONTENT_TYPE, render_run(run, self.prefix)
+        if path == "/health":
+            body = json.dumps({
+                "status": "ok",
+                "pid": os.getpid(),
+                "uptime_seconds": round(time.monotonic() - self._t0, 3),
+                "run": None if run is None else run.run_id,
+                "collecting": trace.get_run() is not None,
+            }, sort_keys=True) + "\n"
+            return 200, "application/json; charset=utf-8", body
+        if path == "/snapshot":
+            if run is None:
+                body = json.dumps({"run": None}) + "\n"
+            else:
+                body = json.dumps({
+                    "run": run.run_id,
+                    "tags": run.tags,
+                    "n_spans": len(run.spans()),
+                    "metrics": run.metrics.snapshot(),
+                    "live": run.live.snapshot(),
+                }, sort_keys=True) + "\n"
+            return 200, "application/json; charset=utf-8", body
+        return 404, "text/plain; charset=utf-8", \
+            f"unknown path {path!r}; try /metrics, /health, /snapshot\n"
+
+
+# ---------------------------------------------------------------------- #
+def serve_from_args(args) -> MetricsServer | None:
+    """Start a server when ``--serve-metrics PORT`` was given (else None).
+
+    Shared by the CLI subcommands: ensures an obs run is active (the
+    exporter is pointless without a collector), binds, and announces the
+    scrape URL on stderr. The caller owns ``stop()``.
+    """
+    port = getattr(args, "serve_metrics", None)
+    if port is None:
+        return None
+    import sys
+
+    if trace.get_run() is None:
+        trace.start_run(tags={"command": getattr(args, "command", "serve")})
+    server = MetricsServer(port=port).start()
+    print(f"serving live telemetry on {server.url}/metrics "
+          f"(/health, /snapshot)", file=sys.stderr)
+    return server
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone exporter: ``python -m repro.obs.server [--port N]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-obs-server",
+        description="standalone Prometheus /metrics exporter for repro.obs")
+    parser.add_argument("--port", type=int, default=9464,
+                        help="port to bind (default 9464; 0 = ephemeral)")
+    parser.add_argument("--host", default="127.0.0.1")
+    args = parser.parse_args(argv)
+
+    if trace.get_run() is None:
+        trace.start_run(tags={"command": "obs.server"})
+    server = MetricsServer(port=args.port, host=args.host).start()
+    print(f"serving on {server.url}/metrics (Ctrl-C to stop)")
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

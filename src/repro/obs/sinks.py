@@ -10,10 +10,14 @@ benchmark trajectories:
   ``gauge`` / ``histogram`` with ``name`` + ``value`` (counter, gauge) or
   ``buckets``/``counts``/``count``/``sum``/``min``/``max`` (histogram).
 
-``validate_trace_line`` / ``validate_metrics_line`` raise ``ValueError``
-with the failing key, so tests and CI can assert schema validity without a
-JSON-schema dependency. The Chrome-trace export is the ``traceEvents``
-JSON-array format understood by ``chrome://tracing`` and Perfetto.
+Both line kinds carry a ``schema`` version field (currently ``1``, see
+:data:`repro.obs.metrics.SCHEMA_VERSION`). ``validate_trace_line`` /
+``validate_metrics_line`` raise ``ValueError`` with the failing key, so
+tests and CI can assert schema validity without a JSON-schema dependency;
+they accept lines *without* the field (files written before versioning)
+and reject versions newer than this reader understands. The Chrome-trace
+export is the ``traceEvents`` JSON-array format understood by
+``chrome://tracing`` and Perfetto.
 """
 
 from __future__ import annotations
@@ -161,9 +165,30 @@ def _require(rec: dict, key: str, types, ctx: str) -> None:
         raise ValueError(f"{ctx}: key {key!r} has type {type(rec[key]).__name__}")
 
 
+def _check_schema(rec: dict, ctx: str) -> None:
+    """Accept-and-check the optional ``schema`` version field.
+
+    Absence is tolerated (files written before PR 7 carry no version);
+    when present it must be an int in ``1..SCHEMA_VERSION`` — a newer
+    version than this reader understands is an error, not a warning.
+    """
+    from repro.obs.metrics import SCHEMA_VERSION
+
+    version = rec.get("schema")
+    if version is None:
+        return
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ValueError(f"{ctx}: 'schema' must be an int, "
+                         f"got {type(version).__name__}")
+    if not 1 <= version <= SCHEMA_VERSION:
+        raise ValueError(f"{ctx}: schema version {version} not supported "
+                         f"(this reader understands 1..{SCHEMA_VERSION})")
+
+
 def validate_trace_line(rec: dict) -> None:
     """Raise ``ValueError`` unless ``rec`` is a schema-valid span line."""
     ctx = f"span line {rec.get('id')!r}"
+    _check_schema(rec, ctx)
     _require(rec, "type", str, ctx)
     if rec["type"] != "span":
         raise ValueError(f"{ctx}: type is {rec['type']!r}, expected 'span'")
@@ -185,6 +210,7 @@ def validate_trace_line(rec: dict) -> None:
 def validate_metrics_line(rec: dict) -> None:
     """Raise ``ValueError`` unless ``rec`` is a schema-valid metric line."""
     ctx = f"metric line {rec.get('name')!r}"
+    _check_schema(rec, ctx)
     _require(rec, "type", str, ctx)
     _require(rec, "name", str, ctx)
     kind = rec["type"]

@@ -42,7 +42,8 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.live import LiveRegistry
+from repro.obs.metrics import SCHEMA_VERSION, MetricsRegistry, latency_buckets
 
 __all__ = [
     "Span",
@@ -59,6 +60,9 @@ __all__ = [
     "inc_counter",
     "set_gauge",
     "observe",
+    "mark_rate",
+    "observe_latency",
+    "observe_window",
 ]
 
 _id_counter = itertools.count(1)
@@ -93,6 +97,7 @@ class Span:
     def to_record(self) -> dict:
         """JSON-serializable dict (one JSONL trace line)."""
         return {
+            "schema": SCHEMA_VERSION,
             "type": "span",
             "run": self.run_id,
             "id": self.span_id,
@@ -135,6 +140,7 @@ class Run:
         self.tags = dict(tags or {})
         self.t0_wall = time.time()
         self.metrics = MetricsRegistry()
+        self.live = LiveRegistry()
         self._spans: list[Span] = []
         self._lock = threading.Lock()
 
@@ -303,6 +309,10 @@ def span(name: str, nbytes: int | None = None, **tags: Any) -> Iterator[Span | N
         # The run may have been swapped mid-span (enable_profiling() inside
         # an open span); record into the run that opened the span.
         r._append(sp)
+        # Live span-latency quantiles (p50/p95/p99 on /metrics without
+        # storing spans). Keyed by span *name*, not path: names are the
+        # low-cardinality stage vocabulary, paths are per-call-site.
+        r.live.summary(f"span.{name}").observe(sp.dur)
 
 
 def current_span() -> Span | None:
@@ -343,3 +353,31 @@ def observe(name: str, value: float, buckets: list[float] | None = None) -> None
     r = _active_run
     if r is not None:
         r.metrics.histogram(name, buckets).observe(value)
+
+
+def mark_rate(name: str, n: float = 1.0) -> None:
+    """Mark ``n`` events/bytes on the run's live EWMA meter ``name``."""
+    r = _active_run
+    if r is not None:
+        r.live.meter(name).mark(n)
+
+
+def observe_latency(name: str, seconds: float) -> None:
+    """Record one duration into both live and exact views.
+
+    Feeds the ``<name>.seconds`` histogram (``latency_buckets()`` edges,
+    so offline quantiles are meaningful) *and* the live
+    :class:`~repro.obs.live.LatencySummary` ``name`` (p50/p95/p99 on
+    ``/metrics`` while the run is still in flight).
+    """
+    r = _active_run
+    if r is not None:
+        r.metrics.histogram(f"{name}.seconds", latency_buckets()).observe(seconds)
+        r.live.summary(name).observe(seconds)
+
+
+def observe_window(name: str, value: float) -> None:
+    """Add one sample to the run's sliding-window series ``name``."""
+    r = _active_run
+    if r is not None:
+        r.live.window(name).add(value)

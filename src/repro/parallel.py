@@ -289,6 +289,7 @@ def _run_serial(fn, payloads, directives, policy: RetryPolicy) -> list[JobResult
     for i, payload in enumerate(payloads):
         attempt = 1
         while True:
+            t0 = time.perf_counter()
             try:
                 value = _run_attempt(fn, payload, directives[i], attempt,
                                      policy.timeout, in_worker=False)
@@ -298,15 +299,19 @@ def _run_serial(fn, payloads, directives, policy: RetryPolicy) -> list[JobResult
             except Exception as exc:  # noqa: BLE001
                 if isinstance(exc, TimeoutError):
                     obs.inc_counter("parallel.timeouts")
+                    obs.mark_rate("parallel.timeouts")
                 if attempt > policy.retries:
                     results.append(_failure(i, attempt, exc))
                     break
                 obs.inc_counter("parallel.retries")
+                obs.mark_rate("parallel.retries")
                 time.sleep(policy.delay(attempt))
                 attempt += 1
             else:
                 obs.inc_counter("parallel.jobs_ok")
                 obs.observe("parallel.job_attempts", attempt)
+                obs.observe_latency("parallel.job", time.perf_counter() - t0)
+                obs.mark_rate("parallel.jobs")
                 results.append(JobResult(index=i, ok=True, value=value,
                                          attempts=attempt))
                 break
@@ -340,6 +345,7 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
             return
         if count_retry:
             obs.inc_counter("parallel.retries")
+            obs.mark_rate("parallel.retries")
         heapq.heappush(delayed,
                        (time.monotonic() + policy.delay(attempt), i, attempt + 1))
 
@@ -360,12 +366,18 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
                     ready.appendleft((i, attempt))
                     pool_broken = True
                     break
-                in_flight[fut] = (i, attempt)
+                in_flight[fut] = (i, attempt, time.monotonic())
+            if traced:
+                # live queue health: gauge holds the latest depth for
+                # scrapes, the window keeps the recent trajectory
+                depth = len(ready) + len(delayed) + len(in_flight)
+                obs.set_gauge("parallel.queue_depth", depth)
+                obs.observe_window("parallel.queue_depth", depth)
             if in_flight and not pool_broken:
                 done, _ = wait(set(in_flight), timeout=0.1,
                                return_when=FIRST_COMPLETED)
                 for fut in done:
-                    i, attempt = in_flight.pop(fut)
+                    i, attempt, t_submit = in_flight.pop(fut)
                     try:
                         out, spans, metrics = fut.result()
                     except BrokenProcessPool:
@@ -381,12 +393,16 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
                     except Exception as exc:  # noqa: BLE001
                         if isinstance(exc, TimeoutError):
                             obs.inc_counter("parallel.timeouts")
+                            obs.mark_rate("parallel.timeouts")
                         requeue_or_fail(i, attempt, exc)
                     else:
                         if traced and spans:
                             run.absorb(spans, metrics, reparent_to=dispatch)
                         obs.inc_counter("parallel.jobs_ok")
                         obs.observe("parallel.job_attempts", attempt)
+                        obs.observe_latency("parallel.job",
+                                            time.monotonic() - t_submit)
+                        obs.mark_rate("parallel.jobs")
                         results[i] = JobResult(index=i, ok=True, value=out,
                                                attempts=attempt)
             elif not in_flight:
@@ -396,7 +412,7 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
                 respawns += 1
                 obs.inc_counter("parallel.pool_respawns")
                 # the break also killed every other in-flight job: requeue them
-                for _fut, (i, attempt) in list(in_flight.items()):
+                for _fut, (i, attempt, _t_submit) in list(in_flight.items()):
                     obs.inc_counter("parallel.crash_requeues")
                     requeue_or_fail(i, attempt, None,
                                     "requeued after pool crash", count_retry=False)

@@ -94,6 +94,12 @@ def fair_share_stats(arrivals: np.ndarray, sizes: np.ndarray, link: WanLink,
     stats["goodput"] = float(sizes.sum()) / total_sent if total_sent > 0 else 1.0
     if obs.get_run() is not None:
         obs.inc_counter("wan.bytes_sent", int(total_sent))
+        # live view: simulated bytes as a real-time EWMA rate (how fast
+        # the simulation itself is chewing through traffic), and per-flow
+        # simulated completion latency quantiles on /metrics
+        obs.mark_rate("wan.bytes_sent", total_sent)
+        for i in range(n):
+            obs.observe_latency("wan.flow", float(done[i] - arrivals[i]))
         if stats["retransmits"]:
             obs.inc_counter("wan.retransmits", stats["retransmits"])
             obs.inc_counter("wan.dropped_bytes", int(stats["dropped_bytes"]))

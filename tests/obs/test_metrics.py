@@ -151,3 +151,99 @@ class TestRegistry:
         h = a.histogram("h")
         assert h.count == 0
         assert h.min is None and h.max is None
+
+
+class TestThreadSafety:
+    """Two-thread regression tests for the per-metric locks.
+
+    Before the locks, ``Counter.inc`` / ``Histogram.observe`` were bare
+    read-modify-write sequences; two threads hammering one instrument
+    lost updates. 20k increments across threads must land exactly.
+    """
+
+    N_THREADS = 4
+    N_OPS = 5000
+
+    def _hammer(self, fn):
+        import threading
+
+        threads = [threading.Thread(target=fn) for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_increments_are_atomic(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("c")
+        self._hammer(lambda: [counter.inc() for _ in range(self.N_OPS)])
+        assert counter.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_observations_are_atomic(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h", buckets=[0.5, 1.5])
+        self._hammer(lambda: [hist.observe(1.0) for _ in range(self.N_OPS)])
+        total = self.N_THREADS * self.N_OPS
+        assert hist.count == total
+        assert hist.sum == pytest.approx(float(total))
+        assert hist.counts == [0, total, 0]
+
+    def test_gauge_set_under_contention(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("g")
+        self._hammer(lambda: [gauge.set(1.0) for _ in range(self.N_OPS)])
+        assert gauge.value == 1.0
+
+
+class TestLatencyBuckets:
+    def test_span_second_scale(self):
+        from repro.obs import latency_buckets
+
+        edges = latency_buckets()
+        assert edges[0] == pytest.approx(1e-4)
+        assert edges[-1] > 60.0  # covers minute-scale cells
+        assert edges == sorted(edges)
+        # fine enough that sub-ms and multi-second work land in
+        # different buckets with room to spare
+        assert len(edges) >= 16
+
+    def test_used_by_observe_latency(self):
+        from repro import obs
+
+        obs.end_run()
+        run = obs.start_run()
+        try:
+            obs.observe_latency("stage", 0.01)
+            hist = run.metrics.histogram("stage.seconds")
+            assert hist.buckets == obs.latency_buckets()
+            assert hist.count == 1
+            assert run.live.summary("stage").count == 1
+        finally:
+            obs.end_run()
+
+
+class TestSchemaVersion:
+    def test_records_carry_schema_1(self):
+        from repro.obs import SCHEMA_VERSION
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.histogram("h", buckets=[1.0]).observe(0.5)
+        for rec in reg.records():
+            assert rec["schema"] == SCHEMA_VERSION == 1
+            validate_metrics_line(rec)
+
+    def test_validator_accepts_absent_schema(self):
+        validate_metrics_line({"type": "counter", "name": "c", "value": 1})
+
+    def test_validator_rejects_future_schema(self):
+        with pytest.raises(ValueError, match="schema version 99"):
+            validate_metrics_line(
+                {"schema": 99, "type": "counter", "name": "c", "value": 1})
+
+    def test_validator_rejects_non_int_schema(self):
+        for bad in ("1", 1.5, True):
+            with pytest.raises(ValueError, match="schema"):
+                validate_metrics_line(
+                    {"schema": bad, "type": "counter", "name": "c", "value": 1})
