@@ -100,8 +100,14 @@ class EwmaMeter:
         self._t_last = now
 
     def to_record(self) -> dict:
-        return {"type": "meter", "rate": self.rate(), "total": self.total,
-                "tau": self.tau}
+        # rate and total must come from one critical section, or a
+        # concurrent mark() between the two reads yields a torn snapshot
+        now = self._clock()
+        with self._lock:
+            if self._t_last is not None:
+                self._tick(now)
+            return {"type": "meter", "rate": self._rate, "total": self.total,
+                    "tau": self.tau}
 
 
 class RingWindow:
@@ -346,10 +352,21 @@ class LiveRegistry:
                          lambda: LatencySummary(quantiles))
 
     def snapshot(self) -> dict[str, dict]:
-        """All live aggregates as ``{name: record}`` plain dicts."""
+        """All live aggregates as ``{name: record}`` plain dicts.
+
+        Meters, windows, and summaries live in separate tables, so one
+        name may exist in several kinds; the first keeps the bare name
+        and later kinds get a ``<name>.<kind>`` key (with ``name`` in
+        the record matching the key) so nothing is silently shadowed.
+        """
         with self._lock:
             items = ([(n, m) for n, m in self._meters.items()]
                      + [(n, w) for n, w in self._windows.items()]
                      + [(n, s) for n, s in self._summaries.items()])
-        return {name: {"name": name, **inst.to_record()}
-                for name, inst in sorted(items)}
+        items.sort(key=lambda item: (item[0], type(item[1]).__name__))
+        out: dict[str, dict] = {}
+        for name, inst in items:
+            rec = inst.to_record()
+            key = name if name not in out else f"{name}.{rec['type']}"
+            out[key] = {"name": key, **rec}
+        return out

@@ -13,7 +13,12 @@ dependencies, just the documented line protocol:
 * live summaries -> ``<name>{quantile="0.5"}`` series plus ``_sum`` /
   ``_count`` with ``# TYPE ... summary``;
 * live meters  -> ``<name>_rate`` gauge (units/second, EWMA) plus a
-  ``<name>_total`` counter of everything marked;
+  ``<name>_total`` counter of everything marked — unless an exact
+  counter of the same name is rendered from the metrics registry, in
+  which case the meter's redundant ``_total`` is suppressed (several
+  series, e.g. ``parallel.retries``, are both counted exactly and
+  metered; emitting both would duplicate the family and make the
+  document unscrapeable);
 * live windows -> ``<name>_window_count`` / ``_window_mean`` /
   ``_window_last`` gauges over the sliding window.
 
@@ -104,7 +109,8 @@ def _render_metric(lines: list[str], rec: dict, prefix: str) -> None:
         lines.append(f"{name}_count {rec['count']}")
 
 
-def _render_live(lines: list[str], rec: dict, prefix: str) -> None:
+def _render_live(lines: list[str], rec: dict, prefix: str,
+                 counter_families: frozenset[str] = frozenset()) -> None:
     kind = rec["type"]
     raw = rec["name"]
     name = sanitize_metric_name(raw, prefix)
@@ -121,8 +127,12 @@ def _render_live(lines: list[str], rec: dict, prefix: str) -> None:
         _family(lines, f"{name}_rate", "gauge",
                 f"repro live EWMA rate {raw} (units/s, tau={rec['tau']:g}s)")
         lines.append(f"{name}_rate {format_value(rec['rate'])}")
-        _family(lines, f"{name}_total", "counter", f"repro live meter total {raw}")
-        lines.append(f"{name}_total {format_value(rec['total'])}")
+        # an exact counter of the same name owns the _total family; the
+        # meter's copy would be a duplicate sample Prometheus rejects
+        if f"{name}_total" not in counter_families:
+            _family(lines, f"{name}_total", "counter",
+                    f"repro live meter total {raw}")
+            lines.append(f"{name}_total {format_value(rec['total'])}")
     elif kind == "window":
         _family(lines, f"{name}_window_count", "gauge",
                 f"repro live window sample count {raw} ({rec['window']:g}s)")
@@ -140,12 +150,17 @@ def render_registry(metrics: "MetricsRegistry | None" = None,
                     prefix: str = "repro_") -> str:
     """Render registries into one exposition document (trailing newline)."""
     lines: list[str] = []
+    counter_families: set[str] = set()
     if metrics is not None:
         for rec in metrics.records():
             _render_metric(lines, rec, prefix)
+            if rec["type"] == "counter":
+                counter_families.add(
+                    sanitize_metric_name(rec["name"], prefix) + "_total")
     if live is not None:
+        families = frozenset(counter_families)
         for rec in live.snapshot().values():
-            _render_live(lines, rec, prefix)
+            _render_live(lines, rec, prefix, families)
     return "\n".join(lines) + "\n" if lines else "\n"
 
 

@@ -58,29 +58,35 @@ def classify_file(path) -> str:
     path = Path(path)
     if path.is_dir():
         return "ledger" if (path / "ledger.jsonl").exists() else "unknown"
-    head = path.read_text(errors="replace").lstrip()
-    if not head:
+    # sniff from the first non-blank line only — trace JSONL files can be
+    # huge and load_any reads them anyway, so don't slurp the file twice
+    first_line = ""
+    with path.open("r", errors="replace") as fh:
+        for line in fh:
+            if line.strip():
+                first_line = line.strip()
+                break
+    if not first_line or first_line[0] != "{":
         return "unknown"
-    if head[0] == "{":
-        first_line = head.splitlines()[0]
+    try:
+        rec = json.loads(first_line)
+    except json.JSONDecodeError:
+        # a multi-line pretty-printed JSON document (bench output) is the
+        # one case that genuinely needs the full text
         try:
-            rec = json.loads(first_line)
+            doc = json.loads(path.read_text(errors="replace"))
         except json.JSONDecodeError:
-            # a multi-line pretty-printed JSON document (bench output)
-            try:
-                doc = json.loads(head)
-            except json.JSONDecodeError:
-                return "unknown"
-            return "bench" if isinstance(doc, dict) and (
-                "results" in doc or "smoke_baseline" in doc) else "unknown"
-        if rec.get("type") == "span":
-            return "trace"
-        if rec.get("type") in ("counter", "gauge", "histogram"):
-            return "metrics"
-        if rec.get("rec") in ("cell", "event"):
-            return "ledger"
-        if isinstance(rec, dict) and ("results" in rec or "smoke_baseline" in rec):
-            return "bench"  # bench document serialized on a single line
+            return "unknown"
+        return "bench" if isinstance(doc, dict) and (
+            "results" in doc or "smoke_baseline" in doc) else "unknown"
+    if rec.get("type") == "span":
+        return "trace"
+    if rec.get("type") in ("counter", "gauge", "histogram"):
+        return "metrics"
+    if rec.get("rec") in ("cell", "event"):
+        return "ledger"
+    if isinstance(rec, dict) and ("results" in rec or "smoke_baseline" in rec):
+        return "bench"  # bench document serialized on a single line
     return "unknown"
 
 
@@ -161,7 +167,10 @@ def critical_path(spans: list[dict]) -> list[dict]:
 
     Spans form a forest via ``parent`` ids; the critical path is the
     chain a latency hunter should walk first. Returns the chain's span
-    records, root first.
+    records, root first. Trace files are untrusted input: a cyclic
+    ``parent`` graph raises ``ValueError`` (the CLI's schema-violation
+    exit), and the walk is iterative so arbitrarily deep chains cannot
+    blow the recursion limit.
     """
     if not spans:
         return []
@@ -175,29 +184,49 @@ def critical_path(spans: list[dict]) -> list[dict]:
         else:
             roots.append(rec)
 
-    best_cache: dict[str, tuple[float, list[dict]]] = {}
+    # best[id] = (chain weight from this span down, rec, heaviest child id)
+    best: dict[str, tuple[float, dict, str | None]] = {}
 
-    def best_chain(rec: dict) -> tuple[float, list[dict]]:
-        cached = best_cache.get(rec["id"])
-        if cached is not None:
-            return cached
-        kids = children.get(rec["id"], ())
-        tail_w, tail = 0.0, []
-        for kid in kids:
-            w, chain = best_chain(kid)
-            if w > tail_w:
-                tail_w, tail = w, chain
-        result = (float(rec["dur"]) + tail_w, [rec] + tail)
-        best_cache[rec["id"]] = result
-        return result
+    def resolve(root: dict) -> float:
+        # explicit-stack post-order: children resolve before their parent
+        stack = [(root, False)]
+        in_flight: set[str] = set()
+        while stack:
+            rec, expanded = stack.pop()
+            span_id = rec["id"]
+            if not expanded:
+                if span_id in best:
+                    continue
+                if span_id in in_flight:
+                    raise ValueError(
+                        f"cycle in span parent links at id {span_id!r}")
+                in_flight.add(span_id)
+                stack.append((rec, True))
+                for kid in children.get(span_id, ()):
+                    if kid["id"] not in best:
+                        stack.append((kid, False))
+            else:
+                in_flight.discard(span_id)
+                tail_w, tail_id = 0.0, None
+                for kid in children.get(span_id, ()):
+                    w = best[kid["id"]][0]
+                    if w > tail_w:
+                        tail_w, tail_id = w, kid["id"]
+                best[span_id] = (float(rec["dur"]) + tail_w, rec, tail_id)
+        return best[root["id"]][0]
 
-    # iterative-friendly: process deepest spans first so recursion depth
-    # stays bounded by tree height (trace trees are shallow)
-    weight, chain = 0.0, []
+    best_root, weight = None, 0.0
     for root in roots:
-        w, c = best_chain(root)
+        w = resolve(root)
         if w > weight:
-            weight, chain = w, c
+            weight, best_root = w, root
+    if best_root is None:
+        return []
+    chain: list[dict] = []
+    next_id: str | None = best_root["id"]
+    while next_id is not None:
+        _, rec, next_id = best[next_id]
+        chain.append(rec)
     return chain
 
 
@@ -392,7 +421,11 @@ def cmd_report(args) -> int:
 
 
 def cmd_top(args) -> int:
-    kind, spans = load_any(args.file)
+    try:
+        kind, spans = load_any(args.file)
+    except ValueError as exc:
+        print(f"SCHEMA VIOLATION: {exc}", file=sys.stderr)
+        return 2
     if kind != "trace":
         print(f"top needs a trace JSONL file, got {kind}", file=sys.stderr)
         return 2
@@ -405,12 +438,20 @@ def cmd_top(args) -> int:
 
 
 def cmd_critical_path(args) -> int:
-    kind, spans = load_any(args.file)
+    try:
+        kind, spans = load_any(args.file)
+    except ValueError as exc:
+        print(f"SCHEMA VIOLATION: {exc}", file=sys.stderr)
+        return 2
     if kind != "trace":
         print(f"critical-path needs a trace JSONL file, got {kind}",
               file=sys.stderr)
         return 2
-    chain = critical_path(spans)
+    try:
+        chain = critical_path(spans)
+    except ValueError as exc:
+        print(f"SCHEMA VIOLATION: {exc}", file=sys.stderr)
+        return 2
     if not chain:
         print("no spans")
         return 0

@@ -210,3 +210,16 @@ class TestLiveRegistry:
         assert snap["b.meter"]["type"] == "meter"
         assert snap["c.summary"]["type"] == "summary"
         assert all(rec["name"] == name for name, rec in snap.items())
+
+    def test_snapshot_name_shared_across_kinds(self):
+        """A name reused by different instrument kinds must neither crash
+        the sort (instances aren't orderable) nor shadow an entry."""
+        reg = LiveRegistry(clock=FakeClock())
+        reg.meter("x").mark(1.0)
+        reg.window("x").add(2.0)
+        reg.summary("x").observe(0.5)
+        snap = reg.snapshot()
+        assert len(snap) == 3
+        assert sorted(rec["type"] for rec in snap.values()) == \
+            ["meter", "summary", "window"]
+        assert all(rec["name"] == name for name, rec in snap.items())

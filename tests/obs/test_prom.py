@@ -119,6 +119,33 @@ class TestExposition:
         assert "# TYPE repro_jobs_rate gauge" in text
         assert "repro_jobs_total 5" in text.splitlines()
 
+    def test_counter_and_meter_same_name_single_family(self):
+        """Series metered AND counted (parallel.retries etc.) must not
+        render two identically-named _total families — Prometheus rejects
+        scrapes containing duplicate samples."""
+        reg = MetricsRegistry()
+        reg.counter("parallel.timeouts").inc(2)
+        live = LiveRegistry()
+        live.meter("parallel.timeouts").mark(2.0)
+        text = render_registry(reg, live)
+        families = [ln.split()[2] for ln in text.splitlines()
+                    if ln.startswith("# TYPE")]
+        assert len(families) == len(set(families)), \
+            f"duplicate metric families: {families}"
+        samples = [re.split(r"[{\s]", ln, 1)[0] for ln in sample_lines(text)]
+        assert samples.count("repro_parallel_timeouts_total") == 1
+        # the exact counter wins; the meter still contributes its rate
+        assert "repro_parallel_timeouts_total 2" in text.splitlines()
+        assert "# TYPE repro_parallel_timeouts_rate gauge" in text
+
+    def test_meter_without_counter_keeps_total(self):
+        reg = MetricsRegistry()
+        reg.counter("unrelated").inc()
+        live = LiveRegistry()
+        live.meter("jobs").mark(3.0)
+        text = render_registry(reg, live)
+        assert "repro_jobs_total 3" in text.splitlines()
+
     def test_window_renders_gauges(self):
         live = LiveRegistry()
         live.window("depth").add(3.0)

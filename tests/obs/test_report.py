@@ -122,6 +122,26 @@ class TestCriticalPath:
     def test_empty(self):
         assert report.critical_path([]) == []
 
+    def test_cycle_raises_instead_of_recursing(self):
+        """Untrusted trace input with cyclic parent links (reachable via a
+        duplicated span id) must raise cleanly, not RecursionError."""
+        spans = [
+            {"id": "a", "parent": None, "dur": 1.0, "name": "a", "path": "a"},
+            {"id": "b", "parent": "a", "dur": 1.0, "name": "b", "path": "b"},
+            {"id": "a", "parent": "b", "dur": 1.0, "name": "a2", "path": "a2"},
+        ]
+        with pytest.raises(ValueError, match="cycle"):
+            report.critical_path(spans)
+
+    def test_deep_chain_no_recursion_error(self):
+        depth = 5000  # far beyond the default interpreter recursion limit
+        spans = [{"id": f"s{i}", "parent": f"s{i - 1}" if i else None,
+                  "dur": 1.0, "name": f"n{i}", "path": f"p{i}"}
+                 for i in range(depth)]
+        chain = report.critical_path(spans)
+        assert len(chain) == depth
+        assert chain[0]["id"] == "s0" and chain[-1]["id"] == f"s{depth - 1}"
+
 
 class TestTop:
     def test_ranks_by_duration(self, trace_file, capsys):
