@@ -43,6 +43,21 @@ ALLOWED_CATCHES = frozenset({
 
 BROAD_CATCHES = frozenset({"Exception", "BaseException"})
 
+#: Service request handlers: ``do_*`` / ``handle_*`` functions under
+#: ``src/repro/service/``. The HTTP app maps exceptions to status codes
+#: from a closed vocabulary, so handlers may catch only that vocabulary.
+HANDLER_NAME = re.compile(r"^(do|handle)_\w+$")
+
+#: Exceptions service handlers may catch: the decode vocabulary plus the
+#: declared service errors (repro.service.schemas.SERVICE_ERRORS) and the
+#: dispatch-deadline error they translate.
+SERVICE_ALLOWED_CATCHES = ALLOWED_CATCHES | frozenset({
+    "ServiceError", "SERVICE_ERRORS",
+    "BadRequestError", "NotFoundError", "RateLimitedError", "QueueFullError",
+    "BreakerOpenError", "BlobIOError", "BlobCorruptError", "DeadlineError",
+    "CodecFailureError", "DeadlineExceededError",
+})
+
 
 def _exception_names(node: ast.expr | None) -> list[tuple[ast.AST, str | None]]:
     """Flatten ``except A`` / ``except (A, B)`` into [(node, dotted-name)]."""
@@ -122,3 +137,51 @@ class DecoderBroadExcept(Rule):
                         f"decoder {fn.name}() catches {name}; catch DECODE_ERRORS "
                         "or CorruptStreamError, or suppress with a reason "
                         "(# repro-lint: disable=DEC-002 -- <why>)")
+
+
+@register
+class ServiceHandlerCatchDiscipline(Rule):
+    id = "DEC-003"
+    family = "decode-safety"
+    description = ("service handler except clause catches a type outside "
+                   "DECODE_ERRORS/SERVICE_ERRORS")
+    rationale = ("the HTTP app maps exceptions to documented status codes; a "
+                 "handler that catches outside the declared vocabulary either "
+                 "swallows a real bug as a service error or invents an "
+                 "undocumented failure mode — raise a ServiceError subclass "
+                 "at the point of failure instead")
+    default_paths = ("src/repro/service/**",)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for fn, _ancestors in walk_functions(ctx.tree):
+            if not HANDLER_NAME.match(fn.name):
+                continue
+            for node in ast.walk(fn):
+                if not isinstance(node, ast.ExceptHandler):
+                    continue
+                if node.type is None:
+                    yield self.diag(
+                        ctx, node,
+                        f"bare except in service handler {fn.name}(); catch "
+                        "DECODE_ERRORS or a declared ServiceError")
+                    continue
+                for expr, name in _exception_names(node.type):
+                    if name is None:
+                        yield self.diag(
+                            ctx, node,
+                            f"service handler {fn.name}() catches a dynamic "
+                            "exception expression; catch DECODE_ERRORS or a "
+                            "declared ServiceError explicitly")
+                        continue
+                    short = name.rsplit(".", 1)[-1]
+                    if (name not in SERVICE_ALLOWED_CATCHES
+                            and short not in SERVICE_ALLOWED_CATCHES):
+                        yield self.diag(
+                            ctx, expr if hasattr(expr, "lineno") else node,
+                            f"service handler {fn.name}() catches {name}, "
+                            "which is outside DECODE_ERRORS and the declared "
+                            "service exceptions (SERVICE_ERRORS); raise a "
+                            "ServiceError subclass at the failure site instead",
+                            line=getattr(expr, "lineno", node.lineno),
+                            col=getattr(expr, "col_offset", node.col_offset),
+                        )

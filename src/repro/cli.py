@@ -286,6 +286,12 @@ def cmd_obs(args) -> int:
     return report.run_from_args(args)
 
 
+def cmd_service(args) -> int:
+    from repro.service.__main__ import main as service_main
+
+    return service_main(args.service_args)
+
+
 def cmd_codecs(args) -> int:
     from repro import COMPRESSORS
 
@@ -407,6 +413,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_obs_args(p)
     p.set_defaults(func=cmd_obs)
+
+    p = sub.add_parser(
+        "service",
+        help="compression-as-a-service: serve the HTTP API or chaos-drill it")
+    p.add_argument("service_args", nargs=argparse.REMAINDER,
+                   help="arguments for repro.service (serve / drill ...)")
+    p.set_defaults(func=cmd_service)
 
     p = sub.add_parser("codecs", help="list registered codecs")
     p.set_defaults(func=cmd_codecs)

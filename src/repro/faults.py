@@ -16,7 +16,7 @@ Fault spec grammar (the CLI's ``--inject-faults`` argument)::
     clause  := 'seed=' INT
              | KIND (':' key '=' value)*
     KIND    := 'crash' | 'slow' | 'bitflip' | 'truncate' | 'outage'
-             | 'drop' | 'kill'
+             | 'drop' | 'kill' | 'stall' | 'bloberr' | 'abort'
 
 Clauses and their parameters (all optional, with defaults):
 
@@ -38,10 +38,20 @@ kill      ``p`` (1.0), ``at`` (``pre_commit`` | ``post_commit`` |
           raises instead) at that stage of the next guarded
           :func:`repro.runtime.atomic_write`. Exercises
           crash-consistency and ledger resume.
+stall     ``p`` (1.0), ``delay`` (seconds, 0.25) — a service
+          request handler sleeps ``delay`` seconds before doing
+          its work (exercises deadlines and queue backpressure).
+bloberr   ``p`` (1.0), ``op`` (``read`` | ``write`` | ``any``,
+          default ``any``) — a blob-store I/O operation raises
+          ``OSError`` (the service degrades it to 503).
+abort     ``p`` (1.0) — the client vanishes mid-request: the
+          service drops the connection without a response and
+          must clean up without corrupting anything.
 ========  =======================================================
 
 Example: ``seed=42;crash:p=0.3;bitflip:p=1:n=2;outage:at=5:dur=2``;
-a sweep crash drill: ``seed=7;kill:only=2:at=post_commit``.
+a sweep crash drill: ``seed=7;kill:only=2:at=post_commit``; a service
+chaos drill: ``seed=9;stall:p=0.2:delay=0.3;bloberr:p=0.1;abort:p=0.1``.
 """
 
 from __future__ import annotations
@@ -63,7 +73,8 @@ __all__ = [
     "parse_fault_spec",
 ]
 
-_KINDS = ("crash", "slow", "bitflip", "truncate", "outage", "drop", "kill")
+_KINDS = ("crash", "slow", "bitflip", "truncate", "outage", "drop", "kill",
+          "stall", "bloberr", "abort")
 
 #: Allowed parameters (and their types) per fault kind. ``only`` (where
 #: accepted) pins the fault to a single subject index — job index, blob
@@ -76,7 +87,13 @@ _PARAMS: dict[str, dict[str, type]] = {
     "outage": {"at": float, "dur": float},
     "drop": {"p": float, "max": int, "backoff": float, "only": int},
     "kill": {"p": float, "at": str, "hard": int, "only": int},
+    "stall": {"p": float, "delay": float, "only": int},
+    "bloberr": {"p": float, "op": str, "only": int},
+    "abort": {"p": float, "only": int},
 }
+
+#: Valid values for bloberr's ``op`` parameter.
+_BLOB_OPS = ("read", "write", "any")
 
 _DEFAULTS: dict[str, dict] = {
     "crash": {"p": 1.0, "attempts": 1},
@@ -86,11 +103,48 @@ _DEFAULTS: dict[str, dict] = {
     "outage": {"at": 0.0, "dur": 1.0},
     "drop": {"p": 0.1, "max": 4, "backoff": 0.5},
     "kill": {"p": 1.0, "at": "pre_commit", "hard": 1},
+    "stall": {"p": 1.0, "delay": 0.25},
+    "bloberr": {"p": 1.0, "op": "any"},
+    "abort": {"p": 1.0},
 }
 
 
 class FaultSpecError(ValueError):
     """A ``--inject-faults`` spec string failed to parse."""
+
+
+def _merge_clause(kind: str, params: dict, token: str | None = None) -> dict:
+    """Validate one ``(kind, params)`` clause against the grammar.
+
+    ``token`` is the raw clause text from a spec string; every error
+    message names it, so a bad clause inside a multi-fault spec like
+    ``crash:p=0.5;slw:delay=1`` points at *its* token, not just the kind.
+    """
+    where = f" (offending token {token!r})" if token else ""
+    if kind not in _KINDS:
+        raise FaultSpecError(f"unknown fault kind {kind!r}{where}; "
+                             f"valid kinds: {', '.join(_KINDS)}")
+    merged = dict(_DEFAULTS[kind])
+    for key, value in params.items():
+        if key not in _PARAMS[kind]:
+            raise FaultSpecError(
+                f"fault {kind!r} has no parameter {key!r}{where}; "
+                f"allowed: {', '.join(_PARAMS[kind])}")
+        try:
+            merged[key] = _PARAMS[kind][key](value)
+        except (TypeError, ValueError):
+            raise FaultSpecError(
+                f"fault {kind!r}: parameter {key!r} needs a "
+                f"{_PARAMS[kind][key].__name__}, got {value!r}{where}") from None
+    if kind == "kill" and merged["at"] not in KILL_POINTS:
+        raise FaultSpecError(
+            f"kill fault: at must be one of {', '.join(KILL_POINTS)}, "
+            f"got {merged['at']!r}{where}")
+    if kind == "bloberr" and merged["op"] not in _BLOB_OPS:
+        raise FaultSpecError(
+            f"bloberr fault: op must be one of {', '.join(_BLOB_OPS)}, "
+            f"got {merged['op']!r}{where}")
+    return merged
 
 
 class FaultInjectedError(RuntimeError):
@@ -165,31 +219,13 @@ class FaultInjector:
     before submitting work and workers merely *apply* directives.
     """
 
-    def __init__(self, clauses: list[tuple[str, dict]] | None = None,
-                 seed: int = 0) -> None:
+    def __init__(self, clauses: list | None = None, seed: int = 0) -> None:
         self.seed = int(seed)
         self.clauses: list[tuple[str, dict]] = []
-        for kind, params in clauses or []:
-            if kind not in _KINDS:
-                raise FaultSpecError(f"unknown fault kind {kind!r}; "
-                                     f"known: {', '.join(_KINDS)}")
-            merged = dict(_DEFAULTS[kind])
-            for key, value in params.items():
-                if key not in _PARAMS[kind]:
-                    raise FaultSpecError(
-                        f"fault {kind!r} has no parameter {key!r}; "
-                        f"allowed: {', '.join(_PARAMS[kind])}")
-                try:
-                    merged[key] = _PARAMS[kind][key](value)
-                except (TypeError, ValueError):
-                    raise FaultSpecError(
-                        f"fault {kind!r}: parameter {key!r} needs a "
-                        f"{_PARAMS[kind][key].__name__}, got {value!r}") from None
-            if kind == "kill" and merged["at"] not in KILL_POINTS:
-                raise FaultSpecError(
-                    f"kill fault: at must be one of {', '.join(KILL_POINTS)}, "
-                    f"got {merged['at']!r}")
-            self.clauses.append((kind, merged))
+        for clause in clauses or []:
+            kind, params, *token = clause
+            self.clauses.append(
+                (kind, _merge_clause(kind, params, *token)))
 
     @classmethod
     def from_spec(cls, spec: str) -> "FaultInjector":
@@ -268,6 +304,33 @@ class FaultInjector:
         return KillPoint(at=clause["at"], hard=bool(clause["hard"]))
 
     # ------------------------------------------------------------------ #
+    # Service faults (consumed by repro.service): handler stalls, blob
+    # I/O errors, client aborts — all pure functions of (seed, subject).
+    def handler_delay(self, index: int) -> float:
+        """Injected seconds of slowness for service request ``index``."""
+        stall = self._clause("stall")
+        if (stall is not None and self._applies(stall, index)
+                and _uniform(self.seed, "stall", index) < stall["p"]):
+            return stall["delay"]
+        return 0.0
+
+    def blob_error(self, op: str, index: int) -> bool:
+        """Should blob-store operation ``index`` (``op`` = read|write) fail?"""
+        clause = self._clause("bloberr")
+        if clause is None or not self._applies(clause, index):
+            return False
+        if clause["op"] != "any" and clause["op"] != op:
+            return False
+        return _uniform(self.seed, "bloberr", index) < clause["p"]
+
+    def abort_request(self, index: int) -> bool:
+        """Should the client of service request ``index`` vanish mid-flight?"""
+        clause = self._clause("abort")
+        if clause is None or not self._applies(clause, index):
+            return False
+        return _uniform(self.seed, "abort", index) < clause["p"]
+
+    # ------------------------------------------------------------------ #
     # WAN faults (consumed by repro.transfer.network).
     def link_faults(self) -> LinkFaults | None:
         """Collapse outage/drop clauses into a :class:`LinkFaults`, or None."""
@@ -301,7 +364,7 @@ def parse_fault_spec(spec: str) -> FaultInjector:
     if not isinstance(spec, str) or not spec.strip():
         raise FaultSpecError("empty fault spec")
     seed = 0
-    clauses: list[tuple[str, dict]] = []
+    clauses: list[tuple[str, dict, str]] = []
     for raw in spec.split(";"):
         clause = raw.strip()
         if not clause:
@@ -310,7 +373,9 @@ def parse_fault_spec(spec: str) -> FaultInjector:
             try:
                 seed = int(clause[5:])
             except ValueError:
-                raise FaultSpecError(f"bad seed in {clause!r}") from None
+                raise FaultSpecError(
+                    f"bad seed (offending token {clause!r}); "
+                    "expected seed=<int>") from None
             continue
         parts = clause.split(":")
         kind = parts[0].strip()
@@ -318,14 +383,15 @@ def parse_fault_spec(spec: str) -> FaultInjector:
         for part in parts[1:]:
             if "=" not in part:
                 raise FaultSpecError(
-                    f"bad parameter {part!r} in clause {clause!r} "
-                    "(expected key=value)")
+                    f"bad parameter {part!r} (offending token {clause!r}); "
+                    "expected key=value")
             key, _, value = part.partition("=")
             try:
                 params[key.strip()] = float(value)
             except ValueError:
                 # symbolic values (e.g. kill's at=pre_commit) stay strings;
-                # FaultInjector type-checks them against the kind's schema
+                # _merge_clause type-checks them against the kind's schema
                 params[key.strip()] = value.strip()
-        clauses.append((kind, params))
+        # carry the raw clause token so validation errors can name it
+        clauses.append((kind, params, clause))
     return FaultInjector(clauses, seed=seed)

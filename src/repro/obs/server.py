@@ -60,9 +60,20 @@ class MetricsServer:
 
     # ------------------------------------------------------------------ #
     def start(self) -> "MetricsServer":
-        """Bind and serve on a daemon thread; returns self when ready."""
+        """Bind and serve on a daemon thread; returns self when ready.
+
+        Raises ``RuntimeError`` on a double start of the same instance,
+        and ``RuntimeError`` (chained from the ``OSError``) when the port
+        is already bound — e.g. by another exporter. A stopped server may
+        be started again (state is reset here).
+        """
         if self._thread is not None:
             raise RuntimeError("server already started")
+        self._started.clear()
+        self._error = None
+        self._loop = None
+        self._stop = None
+        self.port = None
         self._thread = threading.Thread(
             target=lambda: asyncio.run(self._serve()),
             name="repro-metrics-server", daemon=True)
@@ -71,22 +82,46 @@ class MetricsServer:
             raise RuntimeError("metrics server failed to start within 10s")
         if self._error is not None:
             self._thread.join()
+            self._thread = None
             raise RuntimeError(
                 f"metrics server failed to bind {self.host}:"
                 f"{self.requested_port}") from self._error
         return self
 
-    def stop(self) -> None:
-        """Shut the server down and join its thread (idempotent)."""
-        if self._thread is None:
-            return
+    def close(self) -> None:
+        """Begin shutdown: stop accepting, let in-flight responses finish.
+
+        Does not block; pair with :meth:`join` (or call :meth:`stop`,
+        which does both). Safe to call more than once.
+        """
         if self._loop is not None and self._stop is not None:
             try:
                 self._loop.call_soon_threadsafe(self._stop.set)
             except RuntimeError:  # loop already closed
                 pass
-        self._thread.join(timeout=10.0)
+
+    def join(self, timeout: float = 10.0) -> None:
+        """Wait for the server thread to exit; frees the port on return.
+
+        Raises ``RuntimeError`` if the thread is still alive after
+        ``timeout`` — a leaked port must fail loudly in tests, not flake
+        the next case that binds the same port.
+        """
+        thread = self._thread
+        if thread is None:
+            return
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            raise RuntimeError("metrics server thread did not exit "
+                               f"within {timeout}s")
         self._thread = None
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread (idempotent)."""
+        if self._thread is None:
+            return
+        self.close()
+        self.join()
 
     @property
     def url(self) -> str:

@@ -23,6 +23,8 @@ export is the ``traceEvents`` JSON-array format understood by
 from __future__ import annotations
 
 import json
+import os
+import threading
 import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
@@ -43,6 +45,20 @@ __all__ = [
 ]
 
 
+# Per-path locks serializing concurrent JsonlSink appends within this
+# process: healing the tail while another thread is mid-append would
+# truncate that thread's half-written batch, and interleaved buffered
+# writes could split a record across another batch's lines.
+_sink_locks: dict[str, threading.Lock] = {}
+_sink_locks_guard = threading.Lock()
+
+
+def _lock_for(path: Path) -> threading.Lock:
+    key = str(path)
+    with _sink_locks_guard:
+        return _sink_locks.setdefault(key, threading.Lock())
+
+
 class JsonlSink:
     """Append JSON records, one per line, to a file.
 
@@ -51,6 +67,12 @@ class JsonlSink:
     into one unparseable line. The sink heals that torn tail (truncating
     the partial record) before appending, so every *complete* line in the
     file is always valid JSON.
+
+    Contention-safe appends: concurrent ``write`` calls from multiple
+    threads (service handlers, the metrics exporter, a sweep) serialize
+    on a per-path lock, and each batch is flushed as one ``O_APPEND``
+    write, so batches never interleave line-by-line and healing never
+    truncates another thread's in-flight append.
     """
 
     def __init__(self, path) -> None:
@@ -59,16 +81,24 @@ class JsonlSink:
     def write(self, records: Iterable[dict]) -> int:
         from repro.runtime import heal_jsonl_tail
 
+        payload = b""
         n = 0
+        for rec in records:
+            payload += (json.dumps(rec, sort_keys=True) + "\n").encode("utf-8")
+            n += 1
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        healed = heal_jsonl_tail(self.path)
-        if healed:
-            warnings.warn(f"{self.path}: healed {healed} torn tail byte(s) "
-                          "before appending", RuntimeWarning, stacklevel=2)
-        with self.path.open("a") as fh:
-            for rec in records:
-                fh.write(json.dumps(rec, sort_keys=True) + "\n")
-                n += 1
+        with _lock_for(self.path):
+            healed = heal_jsonl_tail(self.path)
+            if healed:
+                warnings.warn(f"{self.path}: healed {healed} torn tail byte(s) "
+                              "before appending", RuntimeWarning, stacklevel=2)
+            if payload:
+                fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                             0o644)
+                try:
+                    os.write(fd, payload)
+                finally:
+                    os.close(fd)
         return n
 
 

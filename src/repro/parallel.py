@@ -72,6 +72,7 @@ __all__ = [
     "JobResult",
     "RetryPolicy",
     "ParallelJobError",
+    "DeadlineExceededError",
 ]
 
 _CODEC = "chunked"
@@ -83,6 +84,16 @@ class ParallelJobError(RuntimeError):
     def __init__(self, message: str, results: list["JobResult"] | None = None) -> None:
         super().__init__(message)
         self.results = results or []
+
+
+class DeadlineExceededError(TimeoutError):
+    """The dispatch-level deadline passed before this job could run.
+
+    Distinct from a per-job ``TimeoutError``: a deadline failure is never
+    retried (the budget belongs to the whole dispatch, e.g. one service
+    request), so callers see it promptly instead of work being orphaned
+    past the point anyone is waiting for it.
+    """
 
 
 @dataclass(frozen=True)
@@ -273,6 +284,25 @@ def _resolve_faults(faults) -> FaultInjector | None:
     raise TypeError("faults must be a FaultInjector or a spec string")
 
 
+def _resolve_deadline(deadline) -> float | None:
+    """``deadline`` (seconds from now) -> absolute ``time.monotonic()`` stamp."""
+    if deadline is None:
+        return None
+    deadline = float(deadline)
+    if deadline <= 0:
+        raise ValueError("deadline must be positive seconds from now")
+    return time.monotonic() + deadline
+
+
+def _clamp_timeout(timeout: float | None, deadline_at: float | None,
+                   now: float) -> float | None:
+    """Bound a per-attempt timeout by the time left until the deadline."""
+    if deadline_at is None:
+        return timeout
+    remaining = max(deadline_at - now, 0.001)
+    return remaining if timeout is None else min(timeout, remaining)
+
+
 def _failure(index: int, attempts: int, exc: BaseException | None,
              reason: str | None = None) -> JobResult:
     obs.inc_counter("parallel.job_failures")
@@ -284,15 +314,23 @@ def _failure(index: int, attempts: int, exc: BaseException | None,
     )
 
 
-def _run_serial(fn, payloads, directives, policy: RetryPolicy) -> list[JobResult]:
+def _run_serial(fn, payloads, directives, policy: RetryPolicy,
+                deadline_at: float | None = None) -> list[JobResult]:
     results: list[JobResult] = []
     for i, payload in enumerate(payloads):
         attempt = 1
         while True:
+            now = time.monotonic()
+            if deadline_at is not None and now >= deadline_at:
+                obs.inc_counter("parallel.deadline_exceeded")
+                results.append(_failure(i, attempt - 1, DeadlineExceededError(
+                    "dispatch deadline exceeded before the job could run")))
+                break
             t0 = time.perf_counter()
             try:
                 value = _run_attempt(fn, payload, directives[i], attempt,
-                                     policy.timeout, in_worker=False)
+                                     _clamp_timeout(policy.timeout, deadline_at, now),
+                                     in_worker=False)
             # job boundary: ANY failure must become a JobResult record (or a
             # retry) so one bad chunk cannot abort its siblings; narrowing
             # this catch would turn unexpected errors into lost work.
@@ -300,7 +338,20 @@ def _run_serial(fn, payloads, directives, policy: RetryPolicy) -> list[JobResult
                 if isinstance(exc, TimeoutError):
                     obs.inc_counter("parallel.timeouts")
                     obs.mark_rate("parallel.timeouts")
-                if attempt > policy.retries:
+                expired = (deadline_at is not None
+                           and time.monotonic() >= deadline_at)
+                if attempt > policy.retries or expired:
+                    if expired:
+                        obs.inc_counter("parallel.deadline_exceeded")
+                        # a timeout at the deadline IS the deadline firing:
+                        # surface it as such so callers (the service's 504
+                        # mapping) need not guess from a bare TimeoutError
+                        if isinstance(exc, TimeoutError) and not isinstance(
+                                exc, DeadlineExceededError):
+                            wrapped = DeadlineExceededError(
+                                "dispatch deadline exceeded during the attempt")
+                            wrapped.__cause__ = exc
+                            exc = wrapped
                     results.append(_failure(i, attempt, exc))
                     break
                 obs.inc_counter("parallel.retries")
@@ -319,7 +370,7 @@ def _run_serial(fn, payloads, directives, policy: RetryPolicy) -> list[JobResult
 
 
 def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
-              dispatch) -> list[JobResult]:
+              dispatch, deadline_at: float | None = None) -> list[JobResult]:
     """Pool execution with retries, requeue, and pool respawn.
 
     A hard worker death breaks the whole executor: every in-flight future
@@ -327,6 +378,12 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
     (bounded by ``policy.max_pool_respawns``) and requeue only unfinished
     jobs — the innocent in-flight jobs consume a retry each, which keeps
     a persistently crashing job from respawning the pool forever.
+
+    ``deadline_at`` (absolute ``time.monotonic()``) bounds the *whole*
+    dispatch: once it passes, queued jobs fail with
+    :class:`DeadlineExceededError`, unstarted futures are cancelled, and
+    running workers are cut short by their clamped per-attempt timeout —
+    nothing keeps computing for a caller that has stopped waiting.
     """
     run = obs.get_run()
     traced = run is not None
@@ -352,6 +409,20 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
     try:
         while ready or delayed or in_flight:
             now = time.monotonic()
+            if deadline_at is not None and now >= deadline_at:
+                exc = DeadlineExceededError(
+                    "dispatch deadline exceeded with jobs unfinished")
+                for i, attempt in list(ready) + [(di, da) for _, di, da in delayed]:
+                    obs.inc_counter("parallel.deadline_exceeded")
+                    results[i] = _failure(i, attempt - 1, exc)
+                for fut, (i, attempt, _t_submit) in list(in_flight.items()):
+                    fut.cancel()
+                    obs.inc_counter("parallel.deadline_exceeded")
+                    results[i] = _failure(i, attempt, exc)
+                ready.clear()
+                delayed.clear()
+                in_flight.clear()
+                break
             while delayed and delayed[0][0] <= now:
                 _, i, attempt = heapq.heappop(delayed)
                 ready.append((i, attempt))
@@ -360,7 +431,9 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
                 i, attempt = ready.popleft()
                 try:
                     fut = pool.submit(_worker_call, fn, payloads[i],
-                                      directives[i], attempt, policy.timeout,
+                                      directives[i], attempt,
+                                      _clamp_timeout(policy.timeout, deadline_at,
+                                                     time.monotonic()),
                                       traced)
                 except BrokenProcessPool:
                     ready.appendleft((i, attempt))
@@ -394,6 +467,15 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
                         if isinstance(exc, TimeoutError):
                             obs.inc_counter("parallel.timeouts")
                             obs.mark_rate("parallel.timeouts")
+                            if (deadline_at is not None
+                                    and time.monotonic() >= deadline_at
+                                    and not isinstance(
+                                        exc, DeadlineExceededError)):
+                                wrapped = DeadlineExceededError(
+                                    "dispatch deadline exceeded during "
+                                    "the attempt")
+                                wrapped.__cause__ = exc
+                                exc = wrapped
                         requeue_or_fail(i, attempt, exc)
                     else:
                         if traced and spans:
@@ -437,7 +519,8 @@ def _run_pool(fn, payloads, directives, workers: int, policy: RetryPolicy,
 
 def _run_jobs(fn, payloads, *, workers, policy: RetryPolicy,
               faults: FaultInjector | None, scope: str, dispatch,
-              directives: list[JobFaults | None] | None = None) -> list[JobResult]:
+              directives: list[JobFaults | None] | None = None,
+              deadline_at: float | None = None) -> list[JobResult]:
     """Dispatch ``payloads`` serially or on a pool.
 
     ``directives`` overrides the internally planned fault directives —
@@ -448,8 +531,9 @@ def _run_jobs(fn, payloads, *, workers, policy: RetryPolicy,
     if directives is None:
         directives = _plan_directives(faults, scope, len(payloads))
     if workers:
-        return _run_pool(fn, payloads, directives, workers, policy, dispatch)
-    return _run_serial(fn, payloads, directives, policy)
+        return _run_pool(fn, payloads, directives, workers, policy, dispatch,
+                         deadline_at)
+    return _run_serial(fn, payloads, directives, policy, deadline_at)
 
 
 def _finalize(results: list[JobResult], strict: bool, what: str):
@@ -609,6 +693,7 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
                      mask: np.ndarray | None = None,
                      retries: int | None = None, retry_backoff: float | None = None,
                      timeout: float | None = None,
+                     deadline: float | None = None,
                      faults: FaultInjector | str | None = None,
                      **codec_kwargs) -> bytes:
     """Compress ``data`` as independent chunks along ``axis``.
@@ -617,9 +702,13 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
     ``workers=k`` uses a process pool of ``k`` workers. Extra keyword
     arguments (``abs_eb=...`` / ``rel_eb=...``) pass through to the codec.
     ``retries``/``retry_backoff``/``timeout`` configure the per-job
-    :class:`RetryPolicy`; ``faults`` injects deterministic failures
-    (worker crash/slow directives apply per chunk job, bitflip/truncate
-    clauses corrupt the stored chunk blobs — for exercising salvage).
+    :class:`RetryPolicy`; ``deadline`` (seconds from the call) bounds the
+    whole dispatch — past it, unfinished jobs fail with
+    :class:`DeadlineExceededError` instead of computing for nobody (the
+    service propagates per-request deadlines through this). ``faults``
+    injects deterministic failures (worker crash/slow directives apply
+    per chunk job, bitflip/truncate clauses corrupt the stored chunk
+    blobs — for exercising salvage).
 
     Dispatch happens in two waves with identical output either way:
     chunk 0 is compressed in the dispatching process first, recording its
@@ -644,6 +733,7 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
         raise ValueError("n_chunks must be >= 1")
     faults = _resolve_faults(faults)
     policy = _resolve_policy(retries, retry_backoff, timeout)
+    deadline_at = _resolve_deadline(deadline)
     slices = _chunk_slices(arr.shape[axis], n_chunks)
     take = lambda a, sl: a[(slice(None),) * axis + (sl,)]  # noqa: E731  (view)
     kwargs = dict(codec_kwargs)
@@ -659,7 +749,8 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
                          None)
             first = _run_jobs(_compress_chunk, [first_job], workers=None,
                               policy=policy, faults=faults, scope="chunk",
-                              dispatch=dispatch, directives=directives[:1])
+                              dispatch=dispatch, directives=directives[:1],
+                              deadline_at=deadline_at)
             blob0, cache_state = _finalize(first, True, "compress_chunked")[0]
             blobs = [blob0]
             # Wave 2: remaining chunks reuse the frozen codebooks; pool
@@ -683,7 +774,8 @@ def compress_chunked(data: np.ndarray, codec: str = "cliz", *, axis: int = 0,
                                       cache_state))
                 rest = _run_jobs(_compress_chunk, rest_jobs, workers=workers,
                                  policy=policy, faults=faults, scope="chunk",
-                                 dispatch=dispatch, directives=directives[1:])
+                                 dispatch=dispatch, directives=directives[1:],
+                                 deadline_at=deadline_at)
                 for r in rest:  # report logical chunk numbers on failure
                     r.index += 1
                 blobs += [value[0] for value in
@@ -745,6 +837,7 @@ def decompress_chunked(blob: bytes, workers: int | None = None, *,
                        salvage: bool = False,
                        retries: int | None = None, retry_backoff: float | None = None,
                        timeout: float | None = None,
+                       deadline: float | None = None,
                        faults: FaultInjector | str | None = None):
     """Inverse of :func:`compress_chunked`.
 
@@ -755,6 +848,7 @@ def decompress_chunked(blob: bytes, workers: int | None = None, *,
     """
     faults = _resolve_faults(faults)
     policy = _resolve_policy(retries, retry_backoff, timeout)
+    deadline_at = _resolve_deadline(deadline)
     container = Container.from_bytes(blob, salvage=salvage)
     if container.codec != _CODEC:
         raise ValueError(f"not a chunked stream (codec {container.codec!r})")
@@ -786,7 +880,8 @@ def decompress_chunked(blob: bytes, workers: int | None = None, *,
                   workers=workers or 0) as dispatch:
         results = _run_jobs(_decompress_one, [b for _, b in present],
                             workers=workers, policy=policy, faults=faults,
-                            scope="unchunk", dispatch=dispatch)
+                            scope="unchunk", dispatch=dispatch,
+                            deadline_at=deadline_at)
     chunks: list[np.ndarray | None] = [None] * n_chunks
     for (i, _), result in zip(present, results):
         if result.ok:
@@ -832,6 +927,7 @@ def compress_many(arrays: list[np.ndarray], codec: str = "cliz", *,
                   workers: int | None = None, masks: list | None = None,
                   retries: int | None = None, retry_backoff: float | None = None,
                   timeout: float | None = None,
+                  deadline: float | None = None,
                   faults: FaultInjector | str | None = None,
                   strict: bool = True, **codec_kwargs):
     """Compress independent arrays concurrently (one file per core).
@@ -851,6 +947,7 @@ def compress_many(arrays: list[np.ndarray], codec: str = "cliz", *,
         raise ValueError("masks must align with arrays")
     faults = _resolve_faults(faults)
     policy = _resolve_policy(retries, retry_backoff, timeout)
+    deadline_at = _resolve_deadline(deadline)
     jobs = []
     for i, a in enumerate(arrays):
         try:
@@ -862,7 +959,8 @@ def compress_many(arrays: list[np.ndarray], codec: str = "cliz", *,
     with obs.span("compress_many", codec=codec, n_arrays=len(jobs),
                   workers=workers or 0) as dispatch:
         results = _run_jobs(_compress_one, jobs, workers=workers, policy=policy,
-                            faults=faults, scope="many", dispatch=dispatch)
+                            faults=faults, scope="many", dispatch=dispatch,
+                            deadline_at=deadline_at)
     out = _finalize(results, strict, "compress_many")
     if strict:
         return _inject_storage_faults(out, faults, "many")
@@ -879,14 +977,16 @@ def compress_many(arrays: list[np.ndarray], codec: str = "cliz", *,
 def decompress_many(blobs: list[bytes], workers: int | None = None, *,
                     retries: int | None = None, retry_backoff: float | None = None,
                     timeout: float | None = None,
+                    deadline: float | None = None,
                     faults: FaultInjector | str | None = None,
                     strict: bool = True):
     """Inverse of :func:`compress_many` (same resilience knobs)."""
     faults = _resolve_faults(faults)
     policy = _resolve_policy(retries, retry_backoff, timeout)
+    deadline_at = _resolve_deadline(deadline)
     with obs.span("decompress_many", n_blobs=len(blobs),
                   workers=workers or 0) as dispatch:
         results = _run_jobs(_decompress_one, list(blobs), workers=workers,
                             policy=policy, faults=faults, scope="unmany",
-                            dispatch=dispatch)
+                            dispatch=dispatch, deadline_at=deadline_at)
     return _finalize(results, strict, "decompress_many")

@@ -1,0 +1,56 @@
+"""repro.service — compression-as-a-service with graceful degradation.
+
+A stdlib-asyncio HTTP service over the repro codecs, built to stay
+classified under fault pressure: an admission-control front door (bounded
+queue, per-client token buckets, per-request deadlines propagated into
+parallel dispatch), a content-addressed digest-verified blob store that
+degrades damaged reads to salvage decodes, and per-codec circuit breakers
+that shed into machine-readable 503s while ``/estimate`` and healthy
+codecs keep serving. ``python -m repro.service serve`` runs it;
+``python -m repro.service drill`` replays a seeded chaos schedule against
+a live instance and asserts the whole degradation matrix
+(see ``docs/SERVICE.md``).
+"""
+
+from repro.service.app import ServiceConfig, ServiceServer
+from repro.service.blobstore import BlobStore, blob_key
+from repro.service.breakers import BreakerBoard, CodecBreaker
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.drill import DrillClock, run_drill
+from repro.service.schemas import (
+    SERVICE_ERRORS,
+    BadRequestError,
+    BlobCorruptError,
+    BlobIOError,
+    BreakerOpenError,
+    CodecFailureError,
+    DeadlineError,
+    NotFoundError,
+    QueueFullError,
+    RateLimitedError,
+    ServiceError,
+)
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceServer",
+    "BlobStore",
+    "blob_key",
+    "BreakerBoard",
+    "CodecBreaker",
+    "AdmissionController",
+    "TokenBucket",
+    "DrillClock",
+    "run_drill",
+    "ServiceError",
+    "SERVICE_ERRORS",
+    "BadRequestError",
+    "NotFoundError",
+    "RateLimitedError",
+    "QueueFullError",
+    "BreakerOpenError",
+    "BlobIOError",
+    "BlobCorruptError",
+    "DeadlineError",
+    "CodecFailureError",
+]

@@ -1,0 +1,107 @@
+"""``python -m repro.service`` — serve the compression API, or drill it.
+
+Subcommands::
+
+    serve   start the HTTP service (Ctrl-C to stop)
+    drill   run the deterministic chaos drill and exit 0/1
+
+``serve`` options mirror :class:`repro.service.app.ServiceConfig`;
+``--inject-faults`` accepts the :mod:`repro.faults` spec grammar
+(including the service kinds ``stall`` / ``bloberr`` / ``abort``), and
+``--serve-metrics PORT`` additionally starts the Prometheus exporter so
+queue/breaker/shed gauges are scrapeable while the service runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main"]
+
+
+def _serve(args) -> int:
+    from repro.faults import parse_fault_spec
+    from repro.obs import trace
+    from repro.service.app import ServiceConfig, ServiceServer
+
+    faults = None
+    if args.inject_faults:
+        faults = parse_fault_spec(args.inject_faults)
+    if trace.get_run() is None:
+        trace.start_run(tags={"command": "service.serve"})
+    exporter = None
+    if args.serve_metrics is not None:
+        from repro.obs.server import MetricsServer
+
+        exporter = MetricsServer(port=args.serve_metrics).start()
+        print(f"metrics on {exporter.url}/metrics", file=sys.stderr)
+    server = ServiceServer(ServiceConfig(
+        host=args.host, port=args.port, store_root=args.store,
+        max_queue=args.max_queue, rate=args.rate, burst=args.burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        default_deadline=args.deadline, faults=faults)).start()
+    print(f"compression service on {server.url} "
+          f"(POST /compress /decompress /estimate; GET /health /ready)",
+          file=sys.stderr)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        if exporter is not None:
+            exporter.stop()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="compression-as-a-service over the repro codecs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="start the HTTP service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765,
+                   help="port to bind (default 8765; 0 = ephemeral)")
+    p.add_argument("--store", default="blobstore",
+                   help="blob store directory (default ./blobstore)")
+    p.add_argument("--max-queue", type=int, default=8,
+                   help="admitted-work bound; overflow sheds with 429")
+    p.add_argument("--rate", type=float, default=50.0,
+                   help="per-client steady-state requests/second")
+    p.add_argument("--burst", type=int, default=20,
+                   help="per-client token-bucket burst")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive codec failures that trip its breaker")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   help="seconds an open breaker waits before one probe")
+    p.add_argument("--deadline", type=float, default=30.0,
+                   help="default per-request deadline (X-Deadline overrides)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault spec (see repro.faults)")
+    p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
+                   help="also start the Prometheus /metrics exporter")
+
+    d = sub.add_parser("drill", help="run the deterministic chaos drill")
+    d.add_argument("--seed", type=int, default=9)
+    d.add_argument("--report", default=None, metavar="FILE",
+                   help="write the drill report JSON here")
+    d.add_argument("--quiet", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
+    from repro.service.drill import run_drill
+
+    code, _ = run_drill(seed=args.seed, report_path=args.report,
+                        verbose=not args.quiet)
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

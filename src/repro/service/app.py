@@ -1,0 +1,432 @@
+"""The compression service: a stdlib-asyncio HTTP app, hardened end-to-end.
+
+Request lifecycle for the work endpoints (``POST /compress``,
+``POST /decompress``, ``POST /estimate``)::
+
+    accept -> [abort fault?] -> admission (rate gate, queue bound)
+           -> breaker gate (compress only) -> stall fault / deadline check
+           -> handler on a worker thread (deadline propagated into
+              repro.parallel dispatch) -> breaker record -> respond
+
+Failures never escape as raw tracebacks: every error path maps to a
+:class:`~repro.service.schemas.ServiceError` with a documented status and
+machine-readable ``reason`` slug (see ``docs/SERVICE.md``). ``GET
+/health`` and ``GET /ready`` expose breaker, queue, and blob-store state;
+the numbers behind them are ordinary :mod:`repro.obs` gauges, so an
+exporter started with ``--serve-metrics`` scrapes the same truth.
+
+Determinism for chaos drills: only the three POST endpoints consume a
+request index (monotonic per server), and every injected fault decision
+is a pure function of ``(seed, kind, index)`` — GET polling between
+phases never shifts the schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import _CODEC_NAMES
+from repro.faults import FaultInjector
+from repro.obs import inc_counter, observe_latency, set_gauge
+from repro.service.admission import AdmissionController
+from repro.service.blobstore import BlobStore
+from repro.service.breakers import BreakerBoard
+from repro.service.handlers import do_compress, do_decompress, do_estimate
+from repro.service.schemas import (
+    BadRequestError,
+    BreakerOpenError,
+    CodecFailureError,
+    CompressRequest,
+    DeadlineError,
+    DecompressRequest,
+    EstimateRequest,
+    NotFoundError,
+    ServiceError,
+)
+
+__all__ = ["ServiceConfig", "ServiceServer"]
+
+_KNOWN_CODECS = tuple(_CODEC_NAMES)
+_MAX_BODY = 96 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+_REASONS = {200: "OK", 206: "Partial Content", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            502: "Bad Gateway", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`ServiceServer` (all have safe defaults)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    store_root: str | Path = "blobstore"
+    max_queue: int = 8
+    rate: float = 50.0  # steady-state requests/second per client
+    burst: int = 20
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    default_deadline: float = 30.0  # seconds; X-Deadline overrides
+    faults: FaultInjector | None = None
+    clock: object = None  # injectable monotonic clock (drills)
+
+
+class ServiceServer:
+    """Threaded-asyncio compression service (same shape as MetricsServer).
+
+    ``port=0`` binds an ephemeral port; read ``.port`` after
+    :meth:`start`. All codec work runs on a bounded thread pool so the
+    event loop only ever parses requests and writes responses.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        clock = self.config.clock
+        self.store = BlobStore(self.config.store_root,
+                               faults=self.config.faults)
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue, rate=self.config.rate,
+            burst=self.config.burst, clock=clock)
+        self.breakers = BreakerBoard(
+            threshold=self.config.breaker_threshold,
+            cooldown=self.config.breaker_cooldown, clock=clock)
+        self.port: int | None = None
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle (mirrors repro.obs.server.MetricsServer)
+    def start(self) -> "ServiceServer":
+        if self._thread is not None:
+            raise RuntimeError("service already started")
+        self._started.clear()
+        self._error = None
+        self._loop = None
+        self._stop = None
+        self.port = None
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._serve()),
+            name="repro-service", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("service failed to start within 10s")
+        if self._error is not None:
+            self._thread.join()
+            self._thread = None
+            raise RuntimeError(
+                f"service failed to bind {self.config.host}:"
+                f"{self.config.port}") from self._error
+        return self
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:  # loop already closed
+                pass
+
+    def join(self, timeout: float = 10.0) -> None:
+        thread = self._thread
+        if thread is None:
+            return
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            raise RuntimeError(
+                f"service thread did not exit within {timeout}s")
+        self._thread = None
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self.close()
+        self.join()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    async def _serve(self) -> None:
+        self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_queue,
+            thread_name_prefix="repro-service-worker")
+        try:
+            server = await asyncio.start_server(
+                self._handle, self.config.host, self.config.port)
+        except OSError as exc:
+            self._error = exc
+            self._started.set()
+            self._executor.shutdown(wait=False)
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._executor.shutdown(wait=True)
+
+    def _next_index(self) -> int:
+        with self._seq_lock:
+            index = self._seq
+            self._seq += 1
+            return index
+
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, headers, body = await self._read_request(reader)
+        except (ValueError, ConnectionError, OSError, asyncio.TimeoutError):
+            writer.close()
+            return
+        try:
+            status, doc, extra_headers, drop = await self._dispatch(
+                method, path, headers, body)
+        # the final backstop: a bug in routing must degrade to a 500
+        # body, never a dropped connection or a dead server task.
+        except Exception as exc:  # noqa: BLE001
+            inc_counter("service.http.500")
+            status, extra_headers, drop = 500, [], False
+            doc = {"error": "internal", "status": 500,
+                   "message": f"{type(exc).__name__}: {exc}"}
+        if drop:  # injected client abort: vanish without a response
+            writer.close()
+            return
+        payload = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+                "Content-Type: application/json; charset=utf-8",
+                f"Content-Length: {len(payload)}",
+                "Connection: close"]
+        head.extend(f"{k}: {v}" for k, v in extra_headers)
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                         + payload)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # client went away mid-response
+            pass
+
+    async def _read_request(self, reader):
+        request = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        parts = request.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        method, target = parts[0].upper(), parts[1].split("?", 1)[0]
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length < 0 or length > _MAX_BODY:
+            raise ValueError(f"bad content-length {length}")
+        body = await asyncio.wait_for(reader.readexactly(length),
+                                      timeout=30.0) if length else b""
+        return method, target, headers, body
+
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, method, path, headers, body):
+        """Route one request; returns (status, doc, extra_headers, drop)."""
+        if path in ("/health", "/ready"):
+            if method != "GET":
+                return 405, {"error": "method_not_allowed",
+                             "message": f"{path} only supports GET"}, [], False
+            return (*self._health(path), [], False)
+        if path not in ("/compress", "/decompress", "/estimate"):
+            err = NotFoundError(
+                f"unknown path {path!r}; try /compress, /decompress, "
+                "/estimate, /health, /ready")
+            return err.status, err.to_dict(), [], False
+        if method != "POST":
+            return 405, {"error": "method_not_allowed",
+                         "message": f"{path} only supports POST"}, [], False
+
+        index = self._next_index()
+        faults = self.config.faults
+        if faults is not None and faults.abort_request(index):
+            inc_counter("service.aborted")
+            return 0, {}, [], True
+
+        client = headers.get("x-client") or "anon"
+        try:
+            self.admission.admit(client)
+        except ServiceError as err:
+            inc_counter(f"service.http.{err.status}")
+            return err.status, err.to_dict(), self._retry_headers(err), False
+        try:
+            status, doc, extra = await self._process(
+                index, path, headers, body)
+        finally:
+            self.admission.release()
+        inc_counter(f"service.http.{status}")
+        return status, doc, extra, False
+
+    def _retry_headers(self, err: ServiceError) -> list[tuple[str, str]]:
+        if err.retry_after is None:
+            return []
+        return [("Retry-After", str(max(1, int(err.retry_after + 0.999))))]
+
+    # ------------------------------------------------------------------ #
+    async def _process(self, index, path, headers, body):
+        """Run one admitted work request on the worker pool."""
+        t_start = time.monotonic()
+        try:
+            deadline = self._deadline_from(headers)
+            doc = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(doc, dict):
+                raise BadRequestError("request body must be a JSON object")
+        except (ValueError, UnicodeDecodeError, ServiceError) as exc:
+            err = exc if isinstance(exc, ServiceError) else \
+                BadRequestError(f"request body is not valid JSON: {exc}")
+            return err.status, err.to_dict(), []
+        deadline_at = t_start + deadline
+
+        stall = 0.0
+        if self.config.faults is not None:
+            stall = self.config.faults.handler_delay(index)
+            drill_stall = headers.get("x-drill-stall")
+            if drill_stall:
+                try:
+                    stall = max(stall, float(drill_stall))
+                except ValueError:
+                    pass
+        breaker = None
+        try:
+            if path == "/compress":
+                req = CompressRequest.from_doc(doc, _KNOWN_CODECS)
+                breaker = self.breakers.for_codec(req.codec)
+                if not breaker.allow():
+                    breaker = None  # denied: nothing to record
+                    raise BreakerOpenError(
+                        f"codec {req.codec!r} is circuit-broken "
+                        "(recent consecutive failures); degraded mode — "
+                        "/estimate and other codecs keep serving",
+                        retry_after=self.breakers.for_codec(req.codec)
+                        .retry_after(),
+                        detail={"codec": req.codec})
+                result = await self._run_worker(
+                    lambda left: do_compress(
+                        req, self.store, deadline=left,
+                        faults=self._codec_faults(index)),
+                    stall, deadline_at)
+            elif path == "/decompress":
+                dreq = DecompressRequest.from_doc(doc)
+                result = await self._run_worker(
+                    lambda left: do_decompress(dreq, self.store,
+                                               deadline=left),
+                    stall, deadline_at)
+            else:  # /estimate — no breaker gate: serves in degraded mode
+                ereq = EstimateRequest.from_doc(doc, _KNOWN_CODECS)
+                result = await self._run_worker(
+                    lambda left: do_estimate(ereq, deadline=left),
+                    stall, deadline_at)
+        except ServiceError as err:
+            if breaker is not None:
+                # only codec ill-health trips the breaker; deadline and
+                # blob trouble are load/storage signals, not codec ones.
+                breaker.record(not isinstance(err, CodecFailureError))
+            observe_latency("service.request_seconds",
+                            time.monotonic() - t_start)
+            return err.status, err.to_dict(), self._retry_headers(err)
+        if breaker is not None:
+            breaker.record(True)
+        observe_latency("service.request_seconds", time.monotonic() - t_start)
+        status = 206 if result.get("salvaged") else 200
+        return status, result, []
+
+    def _deadline_from(self, headers) -> float:
+        raw = headers.get("x-deadline")
+        if raw is None:
+            return float(self.config.default_deadline)
+        try:
+            deadline = float(raw)
+        except ValueError:
+            raise BadRequestError(
+                f"X-Deadline must be seconds, got {raw!r}") from None
+        if deadline <= 0:
+            raise BadRequestError("X-Deadline must be positive seconds")
+        return deadline
+
+    def _codec_faults(self, index: int) -> FaultInjector | None:
+        """Worker-crash injection, gated per *request* index.
+
+        ``crash`` clauses decide per request (scope ``"service.request"``)
+        whether this request's dispatch gets a crashing injector — one
+        whose workers die on every attempt, so the failure is permanent
+        and the drill can predict exactly which request indices fail.
+        """
+        faults = self.config.faults
+        if faults is None:
+            return None
+        if faults.job_faults("service.request", index).crash_attempts <= 0:
+            return None
+        return FaultInjector([("crash", {"p": 1.0, "attempts": 99})],
+                             seed=faults.seed)
+
+    async def _run_worker(self, fn, stall: float, deadline_at: float):
+        """Run ``fn(remaining_deadline)`` on the pool, stalling first."""
+        def work():
+            if stall > 0:
+                inc_counter("service.stalled")
+                time.sleep(stall)
+            left = deadline_at - time.monotonic()
+            if left <= 0:
+                inc_counter("service.deadline_expired")
+                raise DeadlineError(
+                    "request deadline expired before work started")
+            return fn(left)
+
+        return await self._loop.run_in_executor(self._executor, work)
+
+    # ------------------------------------------------------------------ #
+    def _health(self, path: str):
+        breakers = self.breakers.snapshot()
+        queue = self.admission.snapshot()
+        open_codecs = sorted(c for c, s in breakers.items()
+                             if s["state"] != "closed")
+        set_gauge("service.breakers.open", float(len(open_codecs)))
+        doc = {
+            "status": "ok",
+            "uptime_seconds": round(time.monotonic() - self._t0, 3),
+            "requests": self._seq,
+            "queue": queue,
+            "breakers": breakers,
+            "blobs": self.store.count(),
+            "faults": None if self.config.faults is None
+            else self.config.faults.describe(),
+        }
+        if path == "/health":
+            return 200, doc
+        # readiness: shedding-new-work conditions make us not-ready
+        reasons = []
+        if open_codecs:
+            reasons.append(f"breakers open: {', '.join(open_codecs)}")
+        if queue["depth"] >= queue["limit"]:
+            reasons.append(f"queue full ({queue['depth']}/{queue['limit']})")
+        if reasons:
+            doc["status"] = "degraded"
+            doc["error"] = "not_ready"
+            doc["reasons"] = reasons
+            return 503, doc
+        return 200, doc

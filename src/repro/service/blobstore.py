@@ -1,0 +1,149 @@
+"""Content-addressed blob store backing the compression service.
+
+Blobs are keyed by their blake2b-160 digest, so the key *is* the
+integrity check: every read re-hashes the bytes and a mismatch raises
+:class:`~repro.service.schemas.BlobCorruptError` instead of handing a
+silently rotten container to the decoder. Writes commit through
+``runtime.atomic_write`` — a crash mid-put leaves either no entry or a
+complete one, never a torn blob whose digest can't match.
+
+Fault injection: each store carries an op counter; ``bloberr`` clauses
+from :mod:`repro.faults` fire on the counter index, so a seeded spec
+deterministically fails the N-th store operation regardless of which
+request performed it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from pathlib import Path
+
+from repro.faults import FaultInjector
+from repro.obs import inc_counter, set_gauge
+from repro.runtime import atomic_write
+from repro.service.schemas import BlobCorruptError, BlobIOError, NotFoundError
+
+__all__ = ["BlobStore", "blob_key"]
+
+_DIGEST_BYTES = 20  # blake2b-160: plenty for content addressing, short keys
+
+
+def blob_key(data: bytes) -> str:
+    """The content address (lowercase hex blake2b-160) for ``data``."""
+    return hashlib.blake2b(data, digest_size=_DIGEST_BYTES).hexdigest()
+
+
+class BlobStore:
+    """Digest-keyed blob storage under one directory (two-level fanout)."""
+
+    def __init__(self, root, *, faults: FaultInjector | None = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.faults = faults
+        self._ops = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    def _next_op(self) -> int:
+        with self._lock:
+            self._ops += 1
+            return self._ops - 1
+
+    def _maybe_fail(self, op: str) -> None:
+        if self.faults is not None and self.faults.blob_error(op, self._next_op()):
+            inc_counter(f"service.blob.{op}_errors")
+            raise BlobIOError(
+                f"injected blob {op} failure (fault index {self._ops - 1})")
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    # ------------------------------------------------------------------ #
+    def put(self, data: bytes) -> str:
+        """Store ``data``; returns its content address. Idempotent."""
+        self._maybe_fail("write")
+        key = blob_key(data)
+        dest = self.path_for(key)
+        if not dest.exists():
+            try:
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                atomic_write(dest, data)
+            except OSError as exc:
+                inc_counter("service.blob.write_errors")
+                raise BlobIOError(f"blob store write failed: {exc}") from exc
+        inc_counter("service.blob.puts")
+        set_gauge("service.blob.count", float(self.count()))
+        return key
+
+    def get(self, key: str) -> bytes:
+        """Read and digest-verify the blob at ``key``.
+
+        Raises :class:`NotFoundError` for an unknown key and
+        :class:`BlobCorruptError` when the stored bytes no longer hash to
+        their address — the caller decides whether to salvage-decode the
+        damaged bytes (``fetch_raw``) or surface the 502.
+        """
+        self._maybe_fail("read")
+        path = self.path_for(key)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise NotFoundError(f"no blob {key!r}") from None
+        except OSError as exc:
+            inc_counter("service.blob.read_errors")
+            raise BlobIOError(f"blob store read failed: {exc}") from exc
+        inc_counter("service.blob.gets")
+        if blob_key(data) != key:
+            inc_counter("service.blob.corrupt")
+            raise BlobCorruptError(
+                f"blob {key!r}: stored bytes do not match their digest",
+                detail={"key": key, "nbytes": len(data)})
+        return data
+
+    def fetch_raw(self, key: str) -> bytes:
+        """The stored bytes without digest verification (salvage path)."""
+        try:
+            return self.path_for(key).read_bytes()
+        except FileNotFoundError:
+            raise NotFoundError(f"no blob {key!r}") from None
+        except OSError as exc:
+            raise BlobIOError(f"blob store read failed: {exc}") from exc
+
+    # ------------------------------------------------------------------ #
+    def keys(self) -> list[str]:
+        out = []
+        for sub in sorted(self.root.iterdir()) if self.root.exists() else []:
+            if sub.is_dir():
+                out.extend(sorted(p.name for p in sub.iterdir() if p.is_file()))
+        return out
+
+    def count(self) -> int:
+        return len(self.keys())
+
+    def verify_all(self) -> dict[str, bool]:
+        """Digest-check every stored blob: key -> intact? (drill invariant)."""
+        result = {}
+        for key in self.keys():
+            data = self.path_for(key).read_bytes()
+            result[key] = blob_key(data) == key
+        return result
+
+    def corrupt(self, key: str, *, bit: int = 0) -> None:
+        """Flip one bit of a stored blob in place (chaos drills ONLY).
+
+        Deliberately bypasses atomic_write: the drill is simulating bit
+        rot on committed data, not a torn write.
+        """
+        path = self.path_for(key)
+        data = bytearray(path.read_bytes())
+        if not data:
+            raise ValueError(f"blob {key!r} is empty; nothing to corrupt")
+        pos = (len(data) // 2) % len(data)
+        data[pos] ^= 1 << (bit % 8)
+        with open(path, "r+b") as fh:
+            fh.seek(pos)
+            fh.write(bytes(data[pos:pos + 1]))
+            fh.flush()
+            os.fsync(fh.fileno())

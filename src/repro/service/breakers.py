@@ -1,0 +1,149 @@
+"""Per-codec circuit breakers with a closed / open / half-open lifecycle.
+
+Same consecutive-failure shape as the sweep driver's
+:class:`repro.experiments.sweep.CircuitBreaker`, extended for a live
+service: an open breaker *recovers*. After ``cooldown`` seconds the
+breaker admits one probe request (half-open); a success closes it, a
+failure re-opens it for another cooldown. The clock is injectable so the
+chaos drill can advance time deterministically instead of sleeping.
+
+State transitions publish gauges (``service.breaker.<codec>`` is 0
+closed / 0.5 half-open / 1 open) so ``/metrics`` and the drill can watch
+recovery without touching internals.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs import inc_counter, set_gauge
+
+__all__ = ["CodecBreaker", "BreakerBoard"]
+
+_STATE_GAUGE = {"closed": 0.0, "half_open": 0.5, "open": 1.0}
+
+
+class CodecBreaker:
+    """Consecutive-failure breaker for one codec."""
+
+    def __init__(self, codec: str, *, threshold: int = 3,
+                 cooldown: float = 30.0,
+                 clock: Callable[[], float] | None = None) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.codec = codec
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self.clock = clock or time.monotonic
+        self.state = "closed"
+        self.consecutive = 0
+        self.opened_at: float | None = None
+        self._lock = threading.Lock()
+        self._publish()
+
+    # ------------------------------------------------------------------ #
+    def _publish(self) -> None:
+        set_gauge(f"service.breaker.{self.codec}", _STATE_GAUGE[self.state])
+
+    def _tick(self) -> None:
+        """Open -> half-open once the cooldown has elapsed (lock held)."""
+        if (self.state == "open" and self.opened_at is not None
+                and self.clock() - self.opened_at >= self.cooldown):
+            self.state = "half_open"
+            inc_counter(f"service.breaker.{self.codec}.half_open")
+            self._publish()
+
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """May a request for this codec proceed right now?
+
+        Closed: yes. Open: no, until the cooldown elapses. Half-open:
+        admits exactly one probe (further calls see open-like denial
+        until the probe reports back).
+        """
+        with self._lock:
+            self._tick()
+            if self.state == "closed":
+                return True
+            if self.state == "half_open":
+                # one probe at a time: mark it taken by moving opened_at
+                # forward so a second concurrent caller stays shut out.
+                self.state = "probing"
+                return True
+            return False
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe would be admitted (0 if now)."""
+        with self._lock:
+            if self.state in ("closed", "half_open"):
+                return 0.0
+            if self.opened_at is None:
+                return self.cooldown
+            return max(0.0, self.cooldown - (self.clock() - self.opened_at))
+
+    def record(self, ok: bool) -> None:
+        """Report the outcome of an admitted request."""
+        with self._lock:
+            if ok:
+                if self.state != "closed":
+                    inc_counter(f"service.breaker.{self.codec}.closed")
+                self.state = "closed"
+                self.consecutive = 0
+                self.opened_at = None
+            else:
+                self.consecutive += 1
+                if self.state == "probing" or self.consecutive >= self.threshold:
+                    if self.state != "open":
+                        inc_counter(f"service.breaker.{self.codec}.tripped")
+                    self.state = "open"
+                    self.opened_at = self.clock()
+            self._publish()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._tick()
+            state = "half_open" if self.state == "probing" else self.state
+            return {
+                "state": state,
+                "consecutive_failures": self.consecutive,
+                "threshold": self.threshold,
+                "cooldown_seconds": self.cooldown,
+                "retry_after": round(max(
+                    0.0, self.cooldown - (self.clock() - self.opened_at))
+                    if self.state in ("open", "probing") and self.opened_at is not None
+                    else 0.0, 3),
+            }
+
+
+class BreakerBoard:
+    """Lazily-created breaker per codec, shared across handler threads."""
+
+    def __init__(self, *, threshold: int = 3, cooldown: float = 30.0,
+                 clock: Callable[[], float] | None = None) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._breakers: dict[str, CodecBreaker] = {}
+        self._lock = threading.Lock()
+
+    def for_codec(self, codec: str) -> CodecBreaker:
+        with self._lock:
+            breaker = self._breakers.get(codec)
+            if breaker is None:
+                breaker = CodecBreaker(
+                    codec, threshold=self.threshold, cooldown=self.cooldown,
+                    clock=self.clock)
+                self._breakers[codec] = breaker
+            return breaker
+
+    def snapshot(self) -> dict[str, dict]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {codec: b.snapshot() for codec, b in sorted(breakers.items())}
+
+    def any_open(self) -> bool:
+        return any(s["state"] != "closed" for s in self.snapshot().values())

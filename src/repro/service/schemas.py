@@ -1,0 +1,247 @@
+"""Request/response schemas and the service exception vocabulary.
+
+Every failure the service can surface is a :class:`ServiceError` subclass
+carrying an HTTP ``status`` and a machine-readable ``reason`` slug; the
+app layer renders them as JSON bodies and the chaos drill asserts the
+exact (status, reason) pairs documented in ``docs/SERVICE.md``. Handlers
+may raise these (and only these, plus the codec decode vocabulary) —
+enforced by the DEC-003 lint rule.
+
+Array payloads travel as base64-encoded raw bytes plus ``dtype`` and
+``shape`` (C order), so a request round-trips bit-exactly without a
+serialization dependency.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "NotFoundError",
+    "RateLimitedError",
+    "QueueFullError",
+    "BreakerOpenError",
+    "BlobIOError",
+    "BlobCorruptError",
+    "DeadlineError",
+    "CodecFailureError",
+    "SERVICE_ERRORS",
+    "encode_array",
+    "parse_array",
+    "CompressRequest",
+    "DecompressRequest",
+    "EstimateRequest",
+]
+
+#: Maximum decoded array payload the service will accept (bytes).
+MAX_PAYLOAD = 64 * 1024 * 1024
+
+
+class ServiceError(Exception):
+    """Base class: an HTTP status plus a machine-readable reason slug."""
+
+    status: int = 500
+    reason: str = "internal"
+
+    def __init__(self, message: str, *, retry_after: float | None = None,
+                 detail: dict | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.detail = detail or {}
+
+    def to_dict(self) -> dict:
+        doc = {"error": self.reason, "message": str(self), "status": self.status}
+        if self.retry_after is not None:
+            doc["retry_after"] = round(float(self.retry_after), 3)
+        doc.update(self.detail)
+        return doc
+
+
+class BadRequestError(ServiceError):
+    status = 400
+    reason = "bad_request"
+
+
+class NotFoundError(ServiceError):
+    status = 404
+    reason = "not_found"
+
+
+class RateLimitedError(ServiceError):
+    status = 429
+    reason = "rate_limited"
+
+
+class QueueFullError(ServiceError):
+    status = 429
+    reason = "queue_full"
+
+
+class BreakerOpenError(ServiceError):
+    status = 503
+    reason = "breaker_open"
+
+
+class BlobIOError(ServiceError):
+    status = 503
+    reason = "blob_io"
+
+
+class BlobCorruptError(ServiceError):
+    """Stored bytes no longer match their content address (bit rot)."""
+
+    status = 502
+    reason = "blob_corrupt"
+
+
+class DeadlineError(ServiceError):
+    status = 504
+    reason = "deadline_exceeded"
+
+
+class CodecFailureError(ServiceError):
+    """Codec work died (crash, exhausted retries); feeds the breaker."""
+
+    status = 500
+    reason = "codec_failure"
+
+
+#: The catchable service vocabulary (the DEC-003 allow list references
+#: these names; handlers must not catch outside it + DECODE_ERRORS).
+SERVICE_ERRORS = (ServiceError,)
+
+
+# ---------------------------------------------------------------------- #
+def encode_array(arr: np.ndarray) -> dict:
+    """An ndarray as a JSON-safe dict (base64 raw bytes + dtype + shape)."""
+    arr = np.ascontiguousarray(arr)
+    return {
+        "data": base64.b64encode(arr.tobytes()).decode("ascii"),
+        "dtype": arr.dtype.str,
+        "shape": list(arr.shape),
+    }
+
+
+def parse_array(doc: dict, what: str = "array") -> np.ndarray:
+    """Inverse of :func:`encode_array`; malformed input -> 400."""
+    if not isinstance(doc, dict):
+        raise BadRequestError(f"{what} must be an object with data/dtype/shape")
+    for key in ("data", "dtype", "shape"):
+        if key not in doc:
+            raise BadRequestError(f"{what} is missing {key!r}")
+    try:
+        raw = base64.b64decode(doc["data"], validate=True)
+    except (binascii.Error, TypeError, ValueError) as exc:
+        raise BadRequestError(f"{what}: data is not valid base64: {exc}") from None
+    if len(raw) > MAX_PAYLOAD:
+        raise BadRequestError(
+            f"{what}: payload {len(raw)} bytes exceeds the {MAX_PAYLOAD}-byte limit")
+    shape = doc["shape"]
+    if (not isinstance(shape, list) or not shape
+            or not all(isinstance(s, int) and not isinstance(s, bool) and s > 0
+                       for s in shape)):
+        raise BadRequestError(f"{what}: shape must be a list of positive ints")
+    try:
+        dtype = np.dtype(doc["dtype"])
+    except (TypeError, ValueError) as exc:
+        raise BadRequestError(f"{what}: bad dtype: {exc}") from None
+    expected = int(np.prod(shape)) * dtype.itemsize
+    if expected != len(raw):
+        raise BadRequestError(
+            f"{what}: {len(raw)} bytes do not match shape {shape} "
+            f"of dtype {dtype} ({expected} bytes)")
+    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+
+def _eb_fields(doc: dict) -> dict:
+    rel_eb, abs_eb = doc.get("rel_eb"), doc.get("abs_eb")
+    if (rel_eb is None) == (abs_eb is None):
+        raise BadRequestError("specify exactly one of rel_eb / abs_eb")
+    eb = rel_eb if rel_eb is not None else abs_eb
+    if not isinstance(eb, (int, float)) or isinstance(eb, bool) or eb <= 0:
+        raise BadRequestError("error bound must be a positive number")
+    return {"rel_eb": float(rel_eb)} if rel_eb is not None \
+        else {"abs_eb": float(abs_eb)}
+
+
+def _codec_field(doc: dict, known: tuple[str, ...]) -> str:
+    codec = doc.get("codec", "cliz")
+    if not isinstance(codec, str) or codec.lower() not in known:
+        raise BadRequestError(
+            f"unknown codec {codec!r}; available: {', '.join(sorted(known))}")
+    return codec.lower()
+
+
+@dataclass(frozen=True)
+class CompressRequest:
+    codec: str
+    array: np.ndarray
+    eb: dict
+    mask: np.ndarray | None = None
+    chunks: int = 1
+
+    @classmethod
+    def from_doc(cls, doc: dict, known_codecs: tuple[str, ...]) -> "CompressRequest":
+        codec = _codec_field(doc, known_codecs)
+        arr = parse_array(doc.get("array"), "array")
+        mask = None
+        if doc.get("mask") is not None:
+            mask = parse_array(doc["mask"], "mask").astype(bool)
+            if mask.shape != arr.shape:
+                raise BadRequestError(
+                    f"mask shape {list(mask.shape)} does not match "
+                    f"array shape {list(arr.shape)}")
+        chunks = doc.get("chunks", 1)
+        if (not isinstance(chunks, int) or isinstance(chunks, bool)
+                or not 1 <= chunks <= 64):
+            raise BadRequestError("chunks must be an int in [1, 64]")
+        return cls(codec=codec, array=arr, eb=_eb_fields(doc), mask=mask,
+                   chunks=chunks)
+
+
+@dataclass(frozen=True)
+class DecompressRequest:
+    key: str
+    salvage: bool = True
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "DecompressRequest":
+        key = doc.get("key")
+        if not isinstance(key, str) or not key or len(key) > 128 \
+                or any(c not in "0123456789abcdef" for c in key):
+            raise BadRequestError("key must be a lowercase hex blob digest")
+        salvage = doc.get("salvage", True)
+        if not isinstance(salvage, bool):
+            raise BadRequestError("salvage must be a boolean")
+        return cls(key=key, salvage=salvage)
+
+
+@dataclass(frozen=True)
+class EstimateRequest:
+    codec: str
+    array: np.ndarray
+    eb: dict
+    sample_budget: int = 4096
+    mask: np.ndarray | None = field(default=None)
+
+    @classmethod
+    def from_doc(cls, doc: dict, known_codecs: tuple[str, ...]) -> "EstimateRequest":
+        codec = _codec_field(doc, known_codecs)
+        arr = parse_array(doc.get("array"), "array")
+        budget = doc.get("sample_budget", 4096)
+        if (not isinstance(budget, int) or isinstance(budget, bool)
+                or not 64 <= budget <= 1_000_000):
+            raise BadRequestError("sample_budget must be an int in [64, 1000000]")
+        mask = None
+        if doc.get("mask") is not None:
+            mask = parse_array(doc["mask"], "mask").astype(bool)
+            if mask.shape != arr.shape:
+                raise BadRequestError("mask shape does not match array shape")
+        return cls(codec=codec, array=arr, eb=_eb_fields(doc),
+                   sample_budget=budget, mask=mask)

@@ -1,0 +1,15 @@
+"""Known-bad: service handler catches outside the declared vocabulary (DEC-003)."""
+
+
+def do_compress(req, store):
+    try:
+        return store.put(req)
+    except OSError:                          # DEC-003: raise BlobIOError at the site
+        return None
+
+
+def handle_request(body):
+    try:
+        return body["array"]
+    except (AttributeError, Exception):      # DEC-003 twice: foreign + broad
+        return None

@@ -1,0 +1,29 @@
+"""Known-good: service handler catches only DECODE_ERRORS / SERVICE_ERRORS."""
+
+DECODE_ERRORS = (ValueError, EOFError, KeyError, IndexError, OverflowError)
+
+
+class ServiceError(Exception):
+    status = 500
+
+
+class BlobCorruptError(ServiceError):
+    status = 502
+
+
+def do_decompress(req, store):
+    try:
+        blob = store.get(req)
+    except BlobCorruptError:                 # declared service exception
+        blob = store.fetch_raw(req)
+    try:
+        return blob.decode()
+    except DECODE_ERRORS:                    # the decode vocabulary
+        return None
+
+
+def do_estimate(req):
+    try:
+        return req["codec"]
+    except ServiceError:                     # the base class is declared too
+        raise

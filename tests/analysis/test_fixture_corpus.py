@@ -43,6 +43,8 @@ BAD_CORPUS = [
      {"API-003"}, 1),
     ("durability/bad_plain_open.py", "src/repro/io/report.py",
      {"DUR-001"}, 2),
+    ("decode_safety/bad_service_catch.py", "src/repro/service/handlers.py",
+     {"DEC-003"}, 3),
 ]
 
 GOOD_CORPUS = [
@@ -53,6 +55,7 @@ GOOD_CORPUS = [
     ("api_consistency/good_init.py", "src/repro/toy/__init__.py"),
     ("api_consistency/good_lazy_getattr.py", "src/repro/toy/__init__.py"),
     ("durability/good_atomic.py", "src/repro/io/report.py"),
+    ("decode_safety/good_service_catch.py", "src/repro/service/handlers.py"),
 ]
 
 

@@ -177,6 +177,45 @@ class TestExports:
             sink.write([{"c": 3}])
         assert load_jsonl(path) == [{"a": 1}, {"b": 2}, {"c": 3}]
 
+    def test_jsonl_sink_concurrent_appends_never_interleave(self, tmp_path):
+        """Regression: threads appending to one sink (service handlers +
+        exporter flushes) must not tear or interleave each other's lines."""
+        import threading
+
+        path = tmp_path / "hot.jsonl"
+        n_threads, n_batches, batch = 8, 20, 5
+        errors = []
+
+        def pound(tid):
+            sink = obs.JsonlSink(path)  # each thread its own sink instance
+            try:
+                for b in range(n_batches):
+                    sink.write([{"t": tid, "b": b, "i": i}
+                                for i in range(batch)])
+            except Exception as exc:  # noqa: BLE001 - reported via errors
+                errors.append(exc)
+
+        threads = [threading.Thread(target=pound, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        records = load_jsonl(path)  # raises on any torn/interleaved line
+        assert len(records) == n_threads * n_batches * batch
+        # every batch arrived contiguously (the O_APPEND single-write
+        # guarantee): its records appear in order with nothing in between
+        for tid in range(n_threads):
+            mine = [(r["b"], r["i"]) for r in records if r["t"] == tid]
+            assert mine == [(b, i) for b in range(n_batches)
+                            for i in range(batch)]
+        positions = {}
+        for pos, r in enumerate(records):
+            positions.setdefault((r["t"], r["b"]), []).append(pos)
+        for runs in positions.values():
+            assert runs == list(range(runs[0], runs[0] + batch))
+
 
 class TestValidation:
     def test_trace_line_missing_key(self):

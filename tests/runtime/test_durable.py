@@ -5,6 +5,8 @@ stage leaves behind — the same states the subprocess SIGKILL test in
 ``tests/test_sweep_resume.py`` produces with hard kills.
 """
 
+import os
+
 import pytest
 
 from repro.runtime import (
@@ -127,3 +129,33 @@ class TestHealJsonlTail:
         path.write_bytes(b'{"a": 1}\n' + torn)
         assert heal_jsonl_tail(path) == len(torn)
         assert path.read_bytes() == b'{"a": 1}\n'
+
+
+class TestUnwritableDestination:
+    """A failing write must surface the OS error and leave no debris."""
+
+    @pytest.mark.skipif(os.geteuid() == 0,
+                        reason="root bypasses directory permission bits")
+    def test_read_only_dir_raises_and_leaves_no_temp(self, tmp_path):
+        dest_dir = tmp_path / "sealed"
+        dest_dir.mkdir()
+        (dest_dir / "kept.txt").write_text("old")
+        dest_dir.chmod(0o555)
+        try:
+            with pytest.raises(PermissionError):
+                atomic_write(dest_dir / "kept.txt", "new")
+            assert (dest_dir / "kept.txt").read_text() == "old"
+            assert [p.name for p in dest_dir.iterdir()] == ["kept.txt"]
+        finally:
+            dest_dir.chmod(0o755)
+
+    def test_parent_is_a_file_raises(self, tmp_path):
+        not_a_dir = tmp_path / "file.txt"
+        not_a_dir.write_text("x")
+        with pytest.raises(OSError):
+            atomic_write(not_a_dir / "child.txt", "data")
+        assert not_a_dir.read_text() == "x"
+
+    def test_missing_parent_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            atomic_write(tmp_path / "nope" / "f.txt", b"data")

@@ -1,0 +1,110 @@
+"""Request parsing and the service error vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.service.schemas import (
+    BadRequestError,
+    BreakerOpenError,
+    CompressRequest,
+    DecompressRequest,
+    EstimateRequest,
+    QueueFullError,
+    RateLimitedError,
+    ServiceError,
+    encode_array,
+    parse_array,
+)
+
+CODECS = ("cliz", "sz3")
+
+
+def test_array_roundtrip():
+    arr = np.arange(24, dtype=np.float32).reshape(2, 3, 4) * 0.5
+    back = parse_array(encode_array(arr))
+    np.testing.assert_array_equal(back, arr)
+    assert back.dtype == arr.dtype
+
+
+def test_array_roundtrip_f64_and_int():
+    for arr in (np.linspace(0, 1, 10), np.arange(6, dtype=np.int32)):
+        np.testing.assert_array_equal(parse_array(encode_array(arr)), arr)
+
+
+@pytest.mark.parametrize("doc", [
+    None,
+    "nope",
+    {},
+    {"data": "!!!", "dtype": "<f4", "shape": [1]},
+    {"data": "", "dtype": "<f4", "shape": [4]},  # size mismatch
+    {"data": "AAAA", "dtype": "bogus", "shape": [3]},
+    {"data": "AAAA", "dtype": "<f4", "shape": []},
+    {"data": "AAAA", "dtype": "<f4", "shape": [-1]},
+    {"data": "AAAA", "dtype": "<f4", "shape": [True]},
+])
+def test_parse_array_rejects(doc):
+    with pytest.raises(BadRequestError):
+        parse_array(doc)
+
+
+def test_compress_request_parses():
+    doc = {"codec": "CLIZ", "array": encode_array(np.zeros((4, 4), np.float32)),
+           "rel_eb": 1e-3, "chunks": 2}
+    req = CompressRequest.from_doc(doc, CODECS)
+    assert req.codec == "cliz" and req.chunks == 2
+    assert req.eb == {"rel_eb": 1e-3}
+
+
+def test_compress_request_needs_exactly_one_bound():
+    arr = encode_array(np.zeros(4, np.float32))
+    with pytest.raises(BadRequestError, match="exactly one"):
+        CompressRequest.from_doc({"codec": "cliz", "array": arr}, CODECS)
+    with pytest.raises(BadRequestError, match="exactly one"):
+        CompressRequest.from_doc(
+            {"codec": "cliz", "array": arr, "rel_eb": 1e-3, "abs_eb": 1e-3},
+            CODECS)
+
+
+def test_compress_request_rejects_unknown_codec_and_mask_shape():
+    arr = encode_array(np.zeros((4, 4), np.float32))
+    with pytest.raises(BadRequestError, match="unknown codec"):
+        CompressRequest.from_doc(
+            {"codec": "nope", "array": arr, "rel_eb": 1e-3}, CODECS)
+    with pytest.raises(BadRequestError, match="mask shape"):
+        CompressRequest.from_doc(
+            {"codec": "cliz", "array": arr, "rel_eb": 1e-3,
+             "mask": encode_array(np.ones(3, np.uint8))}, CODECS)
+
+
+def test_decompress_request_validates_key():
+    assert DecompressRequest.from_doc({"key": "ab12"}).salvage is True
+    assert DecompressRequest.from_doc(
+        {"key": "ab12", "salvage": False}).salvage is False
+    for bad in ({}, {"key": "XYZ"}, {"key": ""}, {"key": 3},
+                {"key": "ab", "salvage": "yes"}):
+        with pytest.raises(BadRequestError):
+            DecompressRequest.from_doc(bad)
+
+
+def test_estimate_request_budget_bounds():
+    arr = encode_array(np.zeros((8, 8), np.float32))
+    req = EstimateRequest.from_doc(
+        {"codec": "sz3", "array": arr, "abs_eb": 0.1}, CODECS)
+    assert req.sample_budget == 4096
+    with pytest.raises(BadRequestError, match="sample_budget"):
+        EstimateRequest.from_doc(
+            {"codec": "sz3", "array": arr, "abs_eb": 0.1,
+             "sample_budget": 1}, CODECS)
+
+
+def test_error_vocabulary_statuses_and_dicts():
+    err = RateLimitedError("slow down", retry_after=2.5)
+    doc = err.to_dict()
+    assert (err.status, doc["error"], doc["retry_after"]) == \
+        (429, "rate_limited", 2.5)
+    assert QueueFullError("full").status == 429
+    assert BreakerOpenError("open", detail={"codec": "cliz"}).to_dict()[
+        "codec"] == "cliz"
+    for cls in (RateLimitedError, QueueFullError, BreakerOpenError,
+                BadRequestError):
+        assert issubclass(cls, ServiceError)

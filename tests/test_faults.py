@@ -147,3 +147,60 @@ class TestJobFaults:
         assert not JobFaults().any
         assert JobFaults(crash_attempts=1).any
         assert JobFaults(delay=0.1).any
+
+
+class TestOffendingTokenErrors:
+    """Spec errors must name the clause token that failed, not just a kind."""
+
+    @pytest.mark.parametrize("spec, token", [
+        ("crash:p=0.5;slw:delay=1", "'slw:delay=1'"),
+        ("seed=xyz;crash", "'seed=xyz'"),
+        ("stall:dely=1", "'stall:dely=1'"),
+        ("bloberr:op=sideways", "'bloberr:op=sideways'"),
+        ("abort:p=high", "'abort:p=high'"),
+        ("crash:p", "'crash:p'"),
+    ])
+    def test_error_names_offending_token(self, spec, token):
+        with pytest.raises(FaultSpecError, match="offending token") as exc:
+            parse_fault_spec(spec)
+        assert token in str(exc.value)
+
+    def test_unknown_kind_lists_valid_kinds(self):
+        with pytest.raises(FaultSpecError) as exc:
+            parse_fault_spec("frobnicate:p=1")
+        message = str(exc.value)
+        for kind in ("crash", "stall", "bloberr", "abort"):
+            assert kind in message
+
+
+class TestServiceFaults:
+    def test_new_kinds_parse_with_defaults(self):
+        inj = parse_fault_spec("seed=5;stall;bloberr;abort")
+        params = dict(inj.clauses)
+        assert params["stall"]["delay"] == 0.25
+        assert params["bloberr"]["op"] == "any"
+        assert params["abort"]["p"] == 1.0
+
+    def test_handler_delay_deterministic(self):
+        inj = parse_fault_spec("seed=5;stall:p=0.5:delay=0.3")
+        delays = [inj.handler_delay(i) for i in range(50)]
+        assert delays == [inj.handler_delay(i) for i in range(50)]
+        assert set(delays) == {0.0, 0.3}
+
+    def test_blob_error_respects_op_filter(self):
+        inj = parse_fault_spec("seed=5;bloberr:p=1:op=write")
+        assert inj.blob_error("write", 0)
+        assert not inj.blob_error("read", 0)
+        any_op = parse_fault_spec("seed=5;bloberr:p=1")
+        assert any_op.blob_error("read", 0) and any_op.blob_error("write", 0)
+
+    def test_abort_pinned_with_only(self):
+        inj = parse_fault_spec("seed=5;abort:p=1:only=2")
+        assert [inj.abort_request(i) for i in range(4)] == \
+            [False, False, True, False]
+
+    def test_no_service_clauses_are_inert(self):
+        inj = parse_fault_spec("seed=5;crash:p=1")
+        assert inj.handler_delay(0) == 0.0
+        assert not inj.blob_error("read", 0)
+        assert not inj.abort_request(0)

@@ -1,9 +1,13 @@
 """Tests for chunked / parallel compression."""
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.faults import parse_fault_spec
 from repro.parallel import (
+    DeadlineExceededError,
     compress_chunked,
     compress_many,
     decompress_chunked,
@@ -230,3 +234,50 @@ class TestChunkedMaskedParallel:
         parallel = compress_chunked(data, "cliz", axis=0, n_chunks=2, workers=2,
                                     mask=mask, abs_eb=1e-3)
         assert serial == parallel
+
+
+class TestDispatchDeadline:
+    """A dispatch-level deadline bounds the whole chunked call."""
+
+    def _field(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(8, 16, 16)).astype(np.float32)
+
+    def test_deadline_exceeded_raises_promptly_serial(self):
+        slow = parse_fault_spec("seed=1;slow:p=1:delay=0.2")
+        t0 = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            compress_chunked(self._field(), "cliz", n_chunks=4,
+                             rel_eb=1e-3, deadline=0.05, faults=slow)
+        assert time.monotonic() - t0 < 2.0
+
+    def test_deadline_exceeded_raises_with_pool(self):
+        slow = parse_fault_spec("seed=1;slow:p=1:delay=0.3")
+        with pytest.raises(DeadlineExceededError):
+            compress_chunked(self._field(), "cliz", n_chunks=4, workers=2,
+                             rel_eb=1e-3, deadline=0.05, faults=slow)
+
+    def test_generous_deadline_is_invisible(self):
+        data = self._field()
+        blob = compress_chunked(data, "cliz", n_chunks=4, rel_eb=1e-3,
+                                deadline=60.0)
+        back = decompress_chunked(blob, deadline=60.0)
+        assert np.abs(back - data).max() <= 1e-3 * np.ptp(data) * 1.0001
+
+    def test_deadline_failures_are_never_retried(self):
+        # with retries available, a deadline failure must not consume them
+        slow = parse_fault_spec("seed=1;slow:p=1:delay=0.2")
+        t0 = time.monotonic()
+        with pytest.raises(DeadlineExceededError):
+            compress_chunked(self._field(), "cliz", n_chunks=4,
+                             rel_eb=1e-3, deadline=0.05, retries=5,
+                             faults=slow)
+        # 5 retries x 4 chunks x 0.2s stall would take >= 4s if retried
+        assert time.monotonic() - t0 < 2.0
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            compress_chunked(self._field(), "cliz", rel_eb=1e-3, deadline=0)
+
+    def test_deadline_exceeded_is_timeout_error(self):
+        assert issubclass(DeadlineExceededError, TimeoutError)
