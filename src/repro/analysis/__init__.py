@@ -22,13 +22,16 @@ Configure in ``pyproject.toml`` under ``[tool.repro-lint]``. See
 ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and how to add a rule.
 """
 
+from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.config import LintConfig, Override, find_pyproject, load_config
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.engine import LintEngine, LintResult, iter_python_files
+from repro.analysis.project import ProjectModel
 from repro.analysis.registry import (
     ModuleContext,
     ProjectRule,
     Rule,
+    WholeProgramRule,
     all_rules,
     get_rule,
     register,
@@ -37,6 +40,8 @@ from repro.analysis.reporters import JSON_REPORT_VERSION, render_json, render_te
 from repro.analysis.suppressions import Suppression, scan_suppressions
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
     "LintConfig",
     "Override",
     "find_pyproject",
@@ -46,8 +51,10 @@ __all__ = [
     "LintResult",
     "iter_python_files",
     "ModuleContext",
+    "ProjectModel",
     "ProjectRule",
     "Rule",
+    "WholeProgramRule",
     "all_rules",
     "get_rule",
     "register",

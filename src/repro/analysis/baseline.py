@@ -1,0 +1,131 @@
+"""Committed baseline for known-unproven whole-program findings.
+
+The EXC family can hit edges it cannot prove statically — the canonical
+example is ``raise type(worker_exc)(...)``, which deliberately re-raises
+the worker's original exception class. Those findings are real but
+accepted: they live in a reviewed, committed JSON file instead of inline
+suppressions, so the set of unproven edges is visible in one place and
+every entry carries a justification.
+
+Format (``lint-baseline.json`` at the repo root, version 1)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "EXC-002",
+          "path": "src/repro/service/handlers.py",
+          "symbol": "repro.service.handlers.do_compress",
+          "contains": "repro.parallel._finalize",
+          "reason": "strict-mode re-raise preserves the original class"
+        }
+      ]
+    }
+
+Matching is deliberately line-number-free: an entry matches a diagnostic
+when the rule id and path are equal and both ``symbol`` and ``contains``
+occur in the message. Whole-program messages always lead with the
+qualified symbol they are attached to, so entries survive unrelated
+edits. A ``reason`` is mandatory — an unexplained baseline entry is just
+a suppression with worse ergonomics.
+
+Entries that match nothing are *stale* and reported as warning-severity
+``BAS-001`` diagnostics, so the baseline shrinks as edges get proven.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+BASELINE_VERSION = 1
+
+#: Default filename looked for next to pyproject.toml.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    reason: str
+    contains: str = ""
+
+    def matches(self, diag: Diagnostic) -> bool:
+        return (diag.rule_id == self.rule
+                and diag.path == self.path
+                and self.symbol in diag.message
+                and self.contains in diag.message)
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+    source: str = ""                      # where it was loaded from, for msgs
+    _used: set[int] = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) \
+                or payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path}: expected a JSON object with "
+                f'"version": {BASELINE_VERSION}')
+        entries = []
+        for i, raw in enumerate(payload.get("entries", [])):
+            if not isinstance(raw, dict):
+                raise ValueError(f"baseline {path}: entry {i} is not an object")
+            missing = {"rule", "path", "symbol", "reason"} - raw.keys()
+            if missing:
+                raise ValueError(
+                    f"baseline {path}: entry {i} is missing "
+                    f"{', '.join(sorted(missing))} (a reason is mandatory: "
+                    "unexplained entries are indistinguishable from "
+                    "unreviewed suppressions)")
+            if not str(raw["reason"]).strip():
+                raise ValueError(f"baseline {path}: entry {i} has an empty "
+                                 "reason")
+            entries.append(BaselineEntry(
+                rule=str(raw["rule"]), path=str(raw["path"]),
+                symbol=str(raw["symbol"]), reason=str(raw["reason"]),
+                contains=str(raw.get("contains", "")),
+            ))
+        return cls(entries=entries, source=str(path))
+
+    def absorbs(self, diag: Diagnostic) -> bool:
+        """True when some entry matches ``diag`` (and mark that entry used)."""
+        hit = False
+        for i, entry in enumerate(self.entries):
+            if entry.matches(diag):
+                self._used.add(i)
+                hit = True
+        return hit
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        return [e for i, e in enumerate(self.entries) if i not in self._used]
+
+
+def stale_diagnostics(baseline: Baseline) -> list[Diagnostic]:
+    """BAS-001 warnings for entries that no longer match any finding."""
+    out = []
+    for entry in baseline.stale_entries():
+        out.append(Diagnostic(
+            rule_id="BAS-001", family="baseline", path=entry.path,
+            line=1, col=0, severity="warning",
+            message=(f"stale baseline entry ({entry.rule} / {entry.symbol}): "
+                     "no current finding matches it; delete it from "
+                     f"{baseline.source or DEFAULT_BASELINE_NAME}"),
+        ))
+    return out
+
+
+__all__ = ["Baseline", "BaselineEntry", "BASELINE_VERSION",
+           "DEFAULT_BASELINE_NAME", "stale_diagnostics"]

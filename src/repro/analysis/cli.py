@@ -13,6 +13,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis.baseline import Baseline
 from repro.analysis.config import LintConfig, find_pyproject, load_config
 from repro.analysis.engine import LintEngine
 from repro.analysis.registry import all_rules
@@ -30,12 +31,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files or directories to lint (default: src tests)")
     p.add_argument("--format", choices=("text", "json"), default="text",
                    help="report format (default: text)")
+    p.add_argument("--json", action="store_true",
+                   help="shorthand for --format json")
     p.add_argument("--output", metavar="FILE",
                    help="write the report to FILE instead of stdout")
     p.add_argument("--select", metavar="IDS",
                    help="comma-separated rule ids/families to run exclusively")
-    p.add_argument("--disable", metavar="IDS",
-                   help="comma-separated rule ids/families to turn off")
+    p.add_argument("--disable", "--ignore", dest="disable", metavar="IDS",
+                   help="comma-separated rule ids/families to turn off "
+                        "(--ignore is an alias)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan the per-file pass out over N worker processes "
+                        "(whole-program pass stays single-shot)")
+    p.add_argument("--whole-program", action="store_true",
+                   help="also build the project model over src/repro and "
+                        "run the EXC/RES/CONC rule families")
+    p.add_argument("--baseline", metavar="FILE",
+                   help="baseline file for whole-program findings "
+                        "(default: [tool.repro-lint] baseline setting)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any configured baseline file")
     p.add_argument("--config", metavar="PYPROJECT",
                    help="explicit pyproject.toml (default: nearest ancestor)")
     p.add_argument("--no-config", action="store_true",
@@ -100,6 +115,24 @@ def main(argv: list[str] | None = None) -> int:
     else:
         root = Path.cwd()
 
+    if args.jobs < 1:
+        print("repro-lint: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.whole_program and not args.no_baseline:
+        baseline_path = None
+        if args.baseline:
+            baseline_path = Path(args.baseline)
+        elif config.baseline:
+            baseline_path = root / config.baseline
+        if baseline_path is not None:
+            try:
+                baseline = Baseline.load(baseline_path)
+            except ValueError as exc:
+                print(f"repro-lint: {exc}", file=sys.stderr)
+                return 2
+
     engine = LintEngine(config=config, root=root)
     paths = [Path(p) for p in args.paths]
     missing = [p for p in paths if not p.exists()]
@@ -108,12 +141,14 @@ def main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     try:
-        result = engine.run(paths, lint_as=args.lint_as)
+        result = engine.run(paths, lint_as=args.lint_as, jobs=args.jobs,
+                            whole_program=args.whole_program,
+                            baseline=baseline)
     except ValueError as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
+    if args.format == "json" or args.json:
         report = render_json(result)
     else:
         report = render_text(result, show_suppressed=args.show_suppressed)

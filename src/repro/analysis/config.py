@@ -62,6 +62,8 @@ class LintConfig:
     disable: list[str] = field(default_factory=list)
     exclude: list[str] = field(default_factory=list)
     overrides: list[Override] = field(default_factory=list)
+    #: baseline file for whole-program findings, relative to the config dir
+    baseline: str | None = None
     source: str = "<defaults>"
 
     def rule_enabled(self, rule_id: str, family: str, relpath: str | None = None) -> bool:
@@ -104,6 +106,10 @@ def parse_config(table: dict, source: str = "<inline>") -> LintConfig:
         cfg.disable = _coerce_str_list(table["disable"], "disable")
     if "exclude" in table:
         cfg.exclude = _coerce_str_list(table["exclude"], "exclude")
+    if "baseline" in table:
+        if not isinstance(table["baseline"], str):
+            raise ValueError("[tool.repro-lint] baseline must be a string path")
+        cfg.baseline = table["baseline"]
     for i, raw in enumerate(table.get("overrides", [])):
         if not isinstance(raw, dict) or "paths" not in raw:
             raise ValueError(f"[tool.repro-lint] overrides[{i}] needs a 'paths' key")

@@ -5,6 +5,24 @@ numeric dependencies are installed. Rules never see the filesystem — they
 get a parsed :class:`ModuleContext` — which is what makes the fixture
 corpus in ``tests/analysis`` able to lint snippets *as if* they lived at
 an arbitrary repo path (``lint_source(..., relpath=...)``).
+
+Two passes can run per invocation:
+
+* the **per-file pass** — every :class:`Rule` over every collected file,
+  optionally fanned out over ``jobs`` worker processes (results are
+  deterministic: workers return per-file results that are merged in
+  input order), plus :class:`ProjectRule` checks;
+* the **whole-program pass** (``whole_program=True``) — builds one
+  :class:`~repro.analysis.project.ProjectModel` over ``src/repro`` and
+  runs every :class:`WholeProgramRule` against it. Whole-program
+  diagnostics honour the same suppression comments and config overrides,
+  and additionally pass through the committed baseline file
+  (:mod:`repro.analysis.baseline`) for known-unproven edges.
+
+Files that cannot be parsed (syntax errors, non-UTF-8 bytes, null bytes)
+or read never crash the run: each produces a single ``SYNTAX``
+diagnostic with the path and line, and linting continues with the next
+file — the exit-code contract (0/1/2) is unchanged.
 """
 
 from __future__ import annotations
@@ -13,9 +31,16 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.analysis.baseline import Baseline, stale_diagnostics
 from repro.analysis.config import LintConfig
 from repro.analysis.diagnostics import Diagnostic
-from repro.analysis.registry import ModuleContext, ProjectRule, Rule, all_rules
+from repro.analysis.registry import (
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    WholeProgramRule,
+    all_rules,
+)
 from repro.analysis.suppressions import scan_suppressions
 
 #: Directories never worth descending into.
@@ -38,6 +63,14 @@ class LintResult:
     def exit_code(self) -> int:
         return 1 if any(d.severity == "error" for d in self.diagnostics) else 0
 
+    def merge(self, other: "LintResult") -> None:
+        self.files_checked += other.files_checked
+        self.diagnostics.extend(other.diagnostics)
+        self.suppressed.extend(other.suppressed)
+        for rid in other.rules_run:
+            if rid not in self.rules_run:
+                self.rules_run.append(rid)
+
 
 def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
     for path in paths:
@@ -48,6 +81,13 @@ def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
             for sub in sorted(path.rglob("*.py")):
                 if not SKIP_DIRS.intersection(sub.parts):
                     yield sub
+
+
+def _lint_file_job(item: tuple[str, str, LintConfig, str]) -> "LintResult":
+    """Worker-process entry for the ``--jobs`` fan-out (must be picklable)."""
+    path, rel, config, root = item
+    engine = LintEngine(config=config, root=Path(root))
+    return engine.lint_file(Path(path), relpath=rel)
 
 
 class LintEngine:
@@ -77,14 +117,22 @@ class LintEngine:
             ctx = ModuleContext.from_source(source, relpath)
         except SyntaxError as exc:
             result.diagnostics.append(Diagnostic(
-                rule_id="ENG-001", family="engine", path=relpath,
+                rule_id="SYNTAX", family="engine", path=relpath,
                 line=exc.lineno or 1, col=(exc.offset or 1) - 1,
                 message=f"syntax error: {exc.msg}",
             ))
             return result
+        except ValueError as exc:
+            # ast.parse raises bare ValueError on e.g. null bytes
+            result.diagnostics.append(Diagnostic(
+                rule_id="SYNTAX", family="engine", path=relpath,
+                line=1, col=0,
+                message=f"unparseable file: {exc}",
+            ))
+            return result
         suppressions = scan_suppressions(source)
         for rule in self.rules:
-            if isinstance(rule, ProjectRule):
+            if isinstance(rule, (ProjectRule, WholeProgramRule)):
                 continue
             if not rule.applies_to(relpath):
                 continue
@@ -113,7 +161,7 @@ class LintEngine:
         except (OSError, UnicodeDecodeError) as exc:
             res = LintResult(files_checked=1)
             res.diagnostics.append(Diagnostic(
-                rule_id="ENG-002", family="engine", path=rel, line=1, col=0,
+                rule_id="SYNTAX", family="engine", path=rel, line=1, col=0,
                 message=f"unreadable file: {exc}",
             ))
             return res
@@ -121,28 +169,29 @@ class LintEngine:
 
     # -- whole-tree linting -----------------------------------------------
 
-    def run(self, paths: Sequence[Path], *, lint_as: str | None = None) -> LintResult:
+    def run(self, paths: Sequence[Path], *, lint_as: str | None = None,
+            jobs: int = 1, whole_program: bool = False,
+            baseline: Baseline | None = None) -> LintResult:
         """Lint files/trees plus the project-level rules.
 
         ``lint_as`` overrides the repo-relative path when exactly one file
         is passed — used by tests and fixtures to place a snippet in an
-        arbitrary rule scope.
+        arbitrary rule scope. ``jobs > 1`` fans the per-file pass out over
+        worker processes; the whole-program pass (and project rules) stay
+        single-shot in this process.
         """
         total = LintResult()
         files = list(iter_python_files(paths))
         if lint_as is not None and len(files) != 1:
             raise ValueError("--lint-as requires exactly one input file")
+        work: list[tuple[Path, str]] = []
         for path in files:
             rel = lint_as if lint_as is not None else self.relpath(path)
             if self.config.excluded(rel):
                 continue
-            res = self.lint_file(path, relpath=rel)
-            total.files_checked += res.files_checked
-            total.diagnostics.extend(res.diagnostics)
-            total.suppressed.extend(res.suppressed)
-            for rid in res.rules_run:
-                if rid not in total.rules_run:
-                    total.rules_run.append(rid)
+            work.append((path, rel))
+        for res in self._map_files(work, jobs):
+            total.merge(res)
         for rule in self.rules:
             if not isinstance(rule, ProjectRule):
                 continue
@@ -150,9 +199,74 @@ class LintEngine:
                 continue
             total.rules_run.append(rule.id)
             total.diagnostics.extend(rule.check_project(self.root))
+        if whole_program:
+            self._run_whole_program(total, baseline)
         total.diagnostics.sort(key=Diagnostic.sort_key)
         total.rules_run.sort()
         return total
+
+    def _map_files(self, work: Sequence[tuple[Path, str]],
+                   jobs: int) -> Iterable[LintResult]:
+        if jobs <= 1 or len(work) < 2:
+            for path, rel in work:
+                yield self.lint_file(path, relpath=rel)
+            return
+        items = [(str(path), rel, self.config, str(self.root))
+                 for path, rel in work]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                # map() preserves input order: output is deterministic
+                yield from pool.map(_lint_file_job, items, chunksize=8)
+        except (OSError, ImportError):   # no usable worker transport
+            for path, rel in work:
+                yield self.lint_file(path, relpath=rel)
+
+    # -- whole-program pass -------------------------------------------------
+
+    def _run_whole_program(self, total: LintResult,
+                           baseline: Baseline | None) -> None:
+        from repro.analysis.project import ProjectModel
+
+        model = ProjectModel.build(self.root)
+        for relpath, message in model.errors:
+            total.diagnostics.append(Diagnostic(
+                rule_id="SYNTAX", family="engine", path=relpath, line=1,
+                col=0, message=f"unparseable file: {message}"))
+        supp_cache: dict[str, dict] = {}
+        for mod in model.modules.values():
+            supp_cache.setdefault(
+                mod.relpath, scan_suppressions(mod.source))
+        for rule in self.rules:
+            if not isinstance(rule, WholeProgramRule):
+                continue
+            if not self.config.rule_enabled(rule.id, rule.family):
+                continue
+            if rule.id not in total.rules_run:
+                total.rules_run.append(rule.id)
+            for diag in rule.check_program(model):
+                if self.config.excluded(diag.path):
+                    continue
+                if not self.config.rule_enabled(rule.id, rule.family,
+                                                diag.path):
+                    continue
+                supp = supp_cache.get(diag.path, {}).get(diag.line)
+                if supp is not None and supp.matches(diag.rule_id,
+                                                     diag.family):
+                    if rule.requires_reason and not supp.reason:
+                        total.diagnostics.append(replace(
+                            diag,
+                            message=diag.message
+                            + " [suppression ignored: no '-- <reason>' "
+                              "given]"))
+                    else:
+                        total.suppressed.append(diag)
+                elif baseline is not None and baseline.absorbs(diag):
+                    total.suppressed.append(diag)
+                else:
+                    total.diagnostics.append(diag)
+        if baseline is not None:
+            total.diagnostics.extend(stale_diagnostics(baseline))
 
 
 __all__ = ["LintEngine", "LintResult", "iter_python_files", "SKIP_DIRS"]

@@ -1,0 +1,905 @@
+"""Whole-program project model: symbol table, class hierarchy, call graph.
+
+Everything the ``--whole-program`` rule families (EXC / RES / CONC) need
+is computed here, once per lint run, from a single ``ast.parse`` pass over
+``src/repro``. Pure stdlib — the model must build on a bare interpreter
+(CI's lint jobs install nothing), so resolution is purely syntactic:
+
+* **Symbol table** — every module, class, function (including nested
+  functions and lambdas, which get synthetic qualnames) keyed by dotted
+  qualname, plus per-module import maps.
+* **Import resolution** — ``import a.b as c`` / ``from a import b`` /
+  relative imports, package ``__init__`` re-exports, and the PEP 562
+  lazy-export idiom (a module-level ``__getattr__`` makes ``repro.x``
+  resolve into the ``repro.x`` submodule even though nothing is imported
+  eagerly).
+* **Class hierarchy** — project classes resolve their written bases;
+  builtin exception classes use the real interpreter MRO, so
+  ``is_subtype("repro.service.schemas.BadRequestError", "Exception")``
+  holds through the project/builtin boundary.
+* **Call graph** — per-function outgoing edges with several resolution
+  strategies (documented on :meth:`ProjectModel._resolve_call`):
+  direct names, ``self.``/typed-receiver methods, dynamic-dispatch
+  fallback on unknown receivers, ``functools.partial``, and one level of
+  higher-order resolution (a function reference passed as an argument to
+  a project function that calls that parameter). Function references
+  passed to *external* callables (``Thread(target=...)``,
+  ``loop.run_in_executor``, ``asyncio.start_server``) become ``ref``
+  edges: they never carry exception flow, but they do carry
+  thread-reachability for the CONC family.
+
+The model is deliberately optimistic about code it cannot see: calls into
+the stdlib or numpy contribute no exceptions and no blocking behaviour.
+The whole-program rules therefore prove properties of *declared* project
+behaviour, not of the interpreter — see docs/STATIC_ANALYSIS.md.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.registry import dotted_name
+
+#: Mirrors engine.SKIP_DIRS (not imported to avoid a cycle at import time).
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".pytest_cache", ".hypothesis",
+    "build", "dist", "telemetry",
+})
+
+#: External constructors whose result type we track on locals/attributes,
+#: so ``pool.submit`` can be told apart from a thread-pool submit and a
+#: ``seg.close()`` can be tied back to a shared-memory segment.
+TRACKED_EXTERNAL_TYPES = frozenset({
+    "concurrent.futures.ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor",
+    "multiprocessing.shared_memory.SharedMemory",
+    "tempfile.TemporaryDirectory",
+    "threading.Thread",
+    "threading.Lock",
+    "threading.RLock",
+    "threading.Condition",
+    "threading.Semaphore",
+    "socket.socket",
+})
+
+#: Shorthand dotted spellings normalised to the canonical external name.
+_EXTERNAL_ALIASES = {
+    "futures.ThreadPoolExecutor": "concurrent.futures.ThreadPoolExecutor",
+    "futures.ProcessPoolExecutor": "concurrent.futures.ProcessPoolExecutor",
+    "shared_memory.SharedMemory": "multiprocessing.shared_memory.SharedMemory",
+}
+
+#: Dynamic-dispatch fallback gives up beyond this many same-named methods:
+#: a name like ``get`` or ``close`` would otherwise connect everything to
+#: everything and drown the exception-flow fixpoint in noise.
+DYNAMIC_DISPATCH_CAP = 8
+
+#: Method names that builtin containers and strings also spell. A ``.get()``
+#: or ``.update()`` on an *untyped* receiver is overwhelmingly a dict, not a
+#: project class, so the dynamic-dispatch fallback never fires for these —
+#: typed receivers (annotations, constructor assigns) still resolve exactly.
+AMBIENT_METHOD_NAMES = frozenset(
+    name
+    for typ in (dict, list, set, frozenset, tuple, str, bytes, bytearray)
+    for name in dir(typ)
+    if not name.startswith("_")
+)
+
+
+def _normalize_external(name: str) -> str:
+    return _EXTERNAL_ALIASES.get(name, name)
+
+
+def _scrape_lazy_exports(node: ast.Dict) -> dict[str, str]:
+    """``name -> "module.attr"`` from a ``{"X": ("pkg.mod", "X")}`` literal."""
+    out: dict[str, str] = {}
+    for key, value in zip(node.keys, node.values):
+        if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+            continue
+        if not (isinstance(value, ast.Tuple) and len(value.elts) == 2
+                and all(isinstance(e, ast.Constant)
+                        and isinstance(e.value, str) for e in value.elts)):
+            continue
+        modname, attr = (e.value for e in value.elts)
+        out[key.value] = f"{modname}.{attr}"
+    return out
+
+
+# --------------------------------------------------------------------------
+# dataclasses
+
+
+@dataclass
+class CallEdge:
+    """One resolved outgoing call (or reference) from a function."""
+
+    callee: str            # qualname of a project function
+    line: int
+    kind: str              # "call" | "dynamic" | "partial" | "higher-order"
+    #                      # | "ref" | "spawn-thread" | "spawn-process"
+
+
+@dataclass
+class ParamCall:
+    """``fn(...)`` where ``fn`` is a parameter of an enclosing function."""
+
+    owner: str             # qualname of the function declaring the parameter
+    param: str
+    site: str              # qualname of the innermost function making the call
+    line: int
+
+
+@dataclass
+class FunctionInfo:
+    qualname: str
+    module: str
+    relpath: str
+    node: ast.AST                      # FunctionDef | AsyncFunctionDef | Lambda
+    name: str                          # simple name; lambdas get "<lambda@N>"
+    is_async: bool = False
+    cls: str | None = None             # owning class qualname, if a method
+    params: tuple[str, ...] = ()
+    parent: str | None = None          # enclosing function qualname, if nested
+    edges: list[CallEdge] = field(default_factory=list)
+    param_calls: list[ParamCall] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    relpath: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()        # resolved: project qualname or builtin
+    methods: dict[str, str] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)  # self.x ctor type
+
+
+@dataclass
+class ModuleInfo:
+    name: str                          # dotted module name ("repro.parallel")
+    relpath: str
+    source: str
+    tree: ast.Module
+    is_package: bool = False
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, str] = field(default_factory=dict)   # name -> qualname
+    classes: dict[str, str] = field(default_factory=dict)     # name -> qualname
+    assigns: dict[str, ast.expr] = field(default_factory=dict)
+    assign_types: dict[str, str] = field(default_factory=dict)
+    has_getattr: bool = False          # PEP 562 module-level __getattr__
+    #: name -> "module.attr" scraped from `_LAZY_EXPORTS`-style dict literals
+    #: ({"Name": ("pkg.mod", "Name")}), the repo's PEP 562 idiom.
+    lazy_exports: dict[str, str] = field(default_factory=dict)
+
+
+# --------------------------------------------------------------------------
+# model
+
+
+class ProjectModel:
+    """Symbol table + class hierarchy + call graph over one package tree."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.method_index: dict[str, list[str]] = {}   # simple name -> quals
+        self.errors: list[tuple[str, str]] = []        # (relpath, message)
+        # (callee qual, arg pos, kwarg name, target qual, source qual, line)
+        self._pending_bindings: list[
+            tuple[str, int | None, str | None, str, str, int]] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, root: Path, package_dir: str = "src/repro",
+              package_name: str | None = None) -> "ProjectModel":
+        """Parse every module under ``root/package_dir`` and link the graph."""
+        model = cls()
+        base = (root / package_dir).resolve()
+        if package_name is None:
+            package_name = base.name
+        files = sorted(p for p in base.rglob("*.py")
+                       if not _SKIP_DIRS.intersection(p.parts))
+        for path in files:
+            rel = path.relative_to(base)
+            parts = (package_name, *rel.with_suffix("").parts)
+            is_package = parts[-1] == "__init__"
+            if is_package:
+                parts = parts[:-1]
+            modname = ".".join(parts)
+            relpath = (Path(package_dir) / rel).as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, UnicodeDecodeError, SyntaxError, ValueError) as exc:
+                model.errors.append((relpath, str(exc)))
+                continue
+            model._index_module(modname, relpath, source, tree, is_package)
+        model._link()
+        return model
+
+    def _index_module(self, modname: str, relpath: str, source: str,
+                      tree: ast.Module, is_package: bool) -> None:
+        mod = ModuleInfo(name=modname, relpath=relpath, source=source,
+                         tree=tree, is_package=is_package)
+        self.modules[modname] = mod
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    mod.imports[local] = target
+            elif isinstance(stmt, ast.ImportFrom):
+                base = self._resolve_from_base(mod, stmt)
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    mod.imports[local] = f"{base}.{alias.name}" if base else alias.name
+            elif isinstance(stmt, ast.Assign):
+                for tgt in stmt.targets:
+                    if isinstance(tgt, ast.Name):
+                        mod.assigns[tgt.id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    mod.assigns[stmt.target.id] = stmt.value
+            elif isinstance(stmt, ast.FunctionDef) and stmt.name == "__getattr__":
+                mod.has_getattr = True
+        for value in mod.assigns.values():
+            if isinstance(value, ast.Dict):
+                mod.lazy_exports.update(_scrape_lazy_exports(value))
+        self._index_scope(mod, tree.body, prefix=modname, cls=None, parent=None)
+
+    def _resolve_from_base(self, mod: ModuleInfo, stmt: ast.ImportFrom) -> str:
+        if not stmt.level:
+            return stmt.module or ""
+        parts = mod.name.split(".")
+        if not mod.is_package:
+            parts = parts[:-1]
+        parts = parts[:len(parts) - (stmt.level - 1)] if stmt.level > 1 else parts
+        base = ".".join(parts)
+        if stmt.module:
+            base = f"{base}.{stmt.module}" if base else stmt.module
+        return base
+
+    def _index_scope(self, mod: ModuleInfo, body: Iterable[ast.stmt], *,
+                     prefix: str, cls: str | None, parent: str | None) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}.{stmt.name}"
+                info = FunctionInfo(
+                    qualname=qual, module=mod.name, relpath=mod.relpath,
+                    node=stmt, name=stmt.name,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                    cls=cls, params=_param_names(stmt.args), parent=parent,
+                )
+                self.functions[qual] = info
+                if cls is None and parent is None:
+                    mod.functions[stmt.name] = qual
+                if cls is not None and parent is None:
+                    self.classes[cls].methods[stmt.name] = qual
+                    self.method_index.setdefault(stmt.name, []).append(qual)
+                self._index_scope(mod, stmt.body, prefix=qual, cls=None,
+                                  parent=qual)
+                self._index_lambdas(mod, stmt, prefix=qual, parent=qual)
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{prefix}.{stmt.name}"
+                self.classes[qual] = ClassInfo(
+                    qualname=qual, module=mod.name, relpath=mod.relpath,
+                    node=stmt,
+                    bases=tuple(n for n in map(dotted_name, stmt.bases) if n),
+                )
+                if parent is None:
+                    mod.classes[stmt.name] = qual
+                self._index_scope(mod, stmt.body, prefix=qual, cls=qual,
+                                  parent=parent)
+            else:
+                self._index_lambdas(mod, stmt, prefix=prefix, parent=parent)
+
+    def _index_lambdas(self, mod: ModuleInfo, node: ast.AST, *,
+                       prefix: str, parent: str | None) -> None:
+        """Give every lambda in the *expressions* of ``node`` a qualname."""
+        for child in _walk_expressions(node):
+            if isinstance(child, ast.Lambda):
+                qual = f"{prefix}.<lambda@{child.lineno}>"
+                while qual in self.functions:   # two lambdas on one line
+                    qual += "'"
+                self.functions[qual] = FunctionInfo(
+                    qualname=qual, module=mod.name, relpath=mod.relpath,
+                    node=child, name=f"<lambda@{child.lineno}>",
+                    params=_param_names(child.args), parent=parent,
+                )
+
+    # -- linking -----------------------------------------------------------
+
+    def _link(self) -> None:
+        for cinfo in self.classes.values():
+            mod = self.modules[cinfo.module]
+            cinfo.bases = tuple(
+                self.resolve_class(mod, b) or b for b in cinfo.bases)
+        # attribute types first: _resolve_method / _spawn_kind consult them
+        for cinfo in self.classes.values():
+            self._collect_attr_types(cinfo)
+        for finfo in list(self.functions.values()):
+            self._scan_function(finfo)
+        self._bind_higher_order()
+
+    def _collect_attr_types(self, cinfo: ClassInfo) -> None:
+        mod = self.modules[cinfo.module]
+        # class-body field annotations (dataclass fields and the like)
+        for stmt in cinfo.node.body:
+            if (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                typ = self.annotated_type(mod, stmt.annotation)
+                if typ is not None:
+                    cinfo.attr_types[stmt.target.id] = typ
+        for meth_qual in cinfo.methods.values():
+            fn = self.functions[meth_qual]
+            for node in ast.walk(fn.node):
+                if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Attribute)
+                        and isinstance(node.targets[0].value, ast.Name)
+                        and node.targets[0].value.id == "self"
+                        and isinstance(node.value, ast.Call)):
+                    typ = self.constructed_type(mod, node.value)
+                    if typ is not None:
+                        cinfo.attr_types[node.targets[0].attr] = typ
+                elif (isinstance(node, ast.AnnAssign)
+                        and isinstance(node.target, ast.Attribute)
+                        and isinstance(node.target.value, ast.Name)
+                        and node.target.value.id == "self"):
+                    typ = None
+                    if isinstance(node.value, ast.Call):
+                        typ = self.constructed_type(mod, node.value)
+                    if typ is None:
+                        typ = self.annotated_type(mod, node.annotation)
+                    if typ is not None:
+                        cinfo.attr_types[node.target.attr] = typ
+
+    # -- symbol resolution -------------------------------------------------
+
+    def expand_name(self, mod: ModuleInfo, dotted: str) -> str:
+        """Expand the leading import alias of ``dotted`` to a canonical name.
+
+        Works for both project and external symbols: ``Lock`` under
+        ``from threading import Lock`` expands to ``threading.Lock``;
+        ``obs.span`` under ``from repro import obs`` to ``repro.obs.span``.
+        """
+        head, _, rest = dotted.partition(".")
+        target = mod.imports.get(head)
+        if target is None:
+            return _normalize_external(dotted)
+        full = f"{target}.{rest}" if rest else target
+        return _normalize_external(full)
+
+    def resolve_function(self, mod: ModuleInfo, dotted: str) -> str | None:
+        """Resolve a dotted name in ``mod``'s namespace to a function qualname."""
+        head, _, rest = dotted.partition(".")
+        if not rest and head in mod.functions:
+            return mod.functions[head]
+        if not rest and head in mod.imports:
+            return self._resolve_qual_function(mod.imports[head])
+        if rest and head in mod.classes:          # ClassName.method
+            cinfo = self.classes[mod.classes[head]]
+            return cinfo.methods.get(rest)
+        if head in mod.imports:
+            return self._resolve_qual_function(f"{mod.imports[head]}.{rest}")
+        if head in self.modules:                   # absolute dotted spelling
+            return self._resolve_qual_function(dotted)
+        return None
+
+    def resolve_class(self, mod: ModuleInfo, dotted: str) -> str | None:
+        head, _, rest = dotted.partition(".")
+        if not rest and head in mod.classes:
+            return mod.classes[head]
+        if head in mod.imports:
+            full = f"{mod.imports[head]}.{rest}" if rest else mod.imports[head]
+            return self._resolve_qual_class(full)
+        if head in self.modules:
+            return self._resolve_qual_class(dotted)
+        return None
+
+    def _split_module(self, qual: str) -> tuple[ModuleInfo, str] | None:
+        """Longest-prefix match of ``qual`` against known modules."""
+        parts = qual.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:i])
+            if prefix in self.modules:
+                return self.modules[prefix], ".".join(parts[i:])
+        return None
+
+    def _resolve_qual_function(self, qual: str, _depth: int = 0) -> str | None:
+        if _depth > 8:
+            return None
+        if qual in self.functions:
+            fn = self.functions[qual]
+            if fn.parent is None:          # only directly addressable defs
+                return qual
+        hit = self._split_module(qual)
+        if hit is None:
+            return None
+        mod, attr = hit
+        if not attr:
+            return None
+        head, _, rest = attr.partition(".")
+        if head in mod.functions and not rest:
+            return mod.functions[head]
+        if head in mod.classes:
+            cinfo = self.classes[mod.classes[head]]
+            return cinfo.methods.get(rest) if rest else None
+        if head in mod.imports:            # package __init__ re-export
+            full = f"{mod.imports[head]}.{rest}" if rest else mod.imports[head]
+            return self._resolve_qual_function(full, _depth + 1)
+        if mod.has_getattr:                # PEP 562: lazy exports
+            if head in mod.lazy_exports:   # {"X": ("pkg.mod", "X")} idiom
+                target = mod.lazy_exports[head]
+                full = f"{target}.{rest}" if rest else target
+                return self._resolve_qual_function(full, _depth + 1)
+            lazy = f"{mod.name}.{head}"    # lazily imported submodule
+            if lazy in self.modules:
+                full = f"{lazy}.{rest}" if rest else lazy
+                return self._resolve_qual_function(full, _depth + 1)
+        return None
+
+    def _resolve_qual_class(self, qual: str, _depth: int = 0) -> str | None:
+        if _depth > 8:
+            return None
+        if qual in self.classes:
+            return qual
+        hit = self._split_module(qual)
+        if hit is None:
+            return None
+        mod, attr = hit
+        head, _, rest = attr.partition(".")
+        if head in mod.classes and not rest:
+            return mod.classes[head]
+        if head in mod.imports:
+            full = f"{mod.imports[head]}.{rest}" if rest else mod.imports[head]
+            return self._resolve_qual_class(full, _depth + 1)
+        if mod.has_getattr:
+            if head in mod.lazy_exports:
+                target = mod.lazy_exports[head]
+                full = f"{target}.{rest}" if rest else target
+                return self._resolve_qual_class(full, _depth + 1)
+            lazy = f"{mod.name}.{head}"
+            if lazy in self.modules:
+                full = f"{lazy}.{rest}" if rest else lazy
+                return self._resolve_qual_class(full, _depth + 1)
+        return None
+
+    # -- class hierarchy ---------------------------------------------------
+
+    def mro_names(self, type_name: str) -> list[str]:
+        """Ancestry of a type (project qualname or builtin name), inclusive."""
+        out, seen, queue = [], set(), [type_name]
+        while queue:
+            name = queue.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            out.append(name)
+            if name in self.classes:
+                queue.extend(self.classes[name].bases)
+            else:
+                base = name.rpartition(".")[2]
+                obj = getattr(builtins, base, None)
+                if isinstance(obj, type):
+                    queue.extend(b.__name__ for b in obj.__mro__[1:]
+                                 if b is not object)
+        return out
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        """Whether ``sub`` is ``sup`` or inherits from it.
+
+        Both names are either project qualnames or bare builtin names —
+        :meth:`mro_names` normalises builtin ancestors to bare names, so a
+        plain membership check covers both sides of the boundary.
+        """
+        return sup in self.mro_names(sub)
+
+    # -- type tracking -----------------------------------------------------
+
+    def constructed_type(self, mod: ModuleInfo, call: ast.Call) -> str | None:
+        """Type name a constructor-looking call produces, if we track it."""
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        qual = self.resolve_class(mod, name)
+        if qual is not None:
+            return qual
+        expanded = self.expand_name(mod, name)
+        if expanded in TRACKED_EXTERNAL_TYPES:
+            return expanded
+        return None
+
+    def annotated_type(self, mod: ModuleInfo, node: ast.expr) -> str | None:
+        """Type name an annotation expression denotes, if we track it.
+
+        Handles plain names (``BlobStore``), dotted names, string
+        annotations, and ``T | None`` unions (the non-None arm). Generics
+        and anything fancier resolve to ``None`` — untyped, not wrong.
+        """
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return (self.annotated_type(mod, node.left)
+                    or self.annotated_type(mod, node.right))
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                name = node.value.strip()
+            else:
+                return None
+        else:
+            name = dotted_name(node)
+        if not name:
+            return None
+        qual = self.resolve_class(mod, name)
+        if qual is not None:
+            return qual
+        expanded = self.expand_name(mod, name)
+        if expanded in TRACKED_EXTERNAL_TYPES:
+            return expanded
+        return None
+
+    def local_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """``name -> type`` for parameters and simple assigns in ``fn``.
+
+        Parameter annotations seed the map; ``x = Ctor(...)`` and
+        ``x: T = ...`` statements in the body then refine or add to it.
+        """
+        mod = self.modules[fn.module]
+        out: dict[str, str] = {}
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is not None:
+                typ = self.annotated_type(mod, arg.annotation)
+                if typ is not None:
+                    out[arg.arg] = typ
+        for node in ast.walk(fn.node):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                typ = self.constructed_type(mod, node.value)
+                if typ is not None:
+                    out[node.targets[0].id] = typ
+            elif (isinstance(node, ast.AnnAssign)
+                    and isinstance(node.target, ast.Name)):
+                typ = None
+                if isinstance(node.value, ast.Call):
+                    typ = self.constructed_type(mod, node.value)
+                if typ is None:
+                    typ = self.annotated_type(mod, node.annotation)
+                if typ is not None:
+                    out[node.target.id] = typ
+        return out
+
+    def receiver_type(self, fn: FunctionInfo, expr: ast.expr) -> str | None:
+        """Best-effort static type of a call receiver expression."""
+        if isinstance(expr, ast.Name):
+            return self.local_types(fn).get(expr.id)
+        if (isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and fn.cls is not None):
+            return self.classes[fn.cls].attr_types.get(expr.attr)
+        return None
+
+    # -- call graph construction -------------------------------------------
+
+    def _scan_function(self, fn: FunctionInfo) -> None:
+        mod = self.modules[fn.module]
+        locals_map = self.local_types(fn)
+        for call in _own_calls(fn.node):
+            self._resolve_call(fn, mod, call, locals_map)
+
+    def _enclosing_params(self, fn: FunctionInfo) -> Iterator[tuple[str, str]]:
+        """(owner qualname, param name) for fn and its lexical ancestors."""
+        cur: FunctionInfo | None = fn
+        while cur is not None:
+            for p in cur.params:
+                yield cur.qualname, p
+            cur = self.functions.get(cur.parent) if cur.parent else None
+
+    def _resolve_call(self, fn: FunctionInfo, mod: ModuleInfo,
+                      call: ast.Call, locals_map: dict[str, str]) -> None:
+        name = dotted_name(call.func)
+        line = call.lineno
+        resolved: str | None = None
+        if name is not None:
+            # functools.partial(f, ...) -> an eventual call to f
+            if self.expand_name(mod, name) == "functools.partial" and call.args:
+                target = dotted_name(call.args[0])
+                if target is not None:
+                    tq = self._resolve_ref(fn, mod, target)
+                    if tq is not None:
+                        fn.edges.append(CallEdge(tq, line, "partial"))
+                self._scan_ref_args(fn, mod, call, skip_first=True)
+                return
+            # parameter of this or an enclosing function (closure)
+            if "." not in name:
+                for owner, param in self._enclosing_params(fn):
+                    if param == name:
+                        fn.param_calls.append(ParamCall(
+                            owner=owner, param=param,
+                            site=fn.qualname, line=line))
+                        self._scan_ref_args(fn, mod, call)
+                        return
+            # self.method() and typed-receiver method calls
+            if "." in name:
+                recv, _, meth = name.rpartition(".")
+                resolved = self._resolve_method(fn, mod, recv, meth,
+                                                locals_map)
+                if resolved is not None:
+                    fn.edges.append(CallEdge(resolved, line, "call"))
+                elif (recv not in ("self",) and meth in self.method_index
+                        and meth not in AMBIENT_METHOD_NAMES):
+                    cands = self.method_index[meth]
+                    if len(cands) <= DYNAMIC_DISPATCH_CAP:
+                        for cand in cands:
+                            fn.edges.append(CallEdge(cand, line, "dynamic"))
+                        resolved = cands[0]
+            if resolved is None:
+                target = self.resolve_function(mod, name)
+                if target is not None:
+                    fn.edges.append(CallEdge(target, line, "call"))
+                    resolved = target
+                else:
+                    cq = self.resolve_class(mod, name)
+                    if cq is not None:        # constructor -> __init__
+                        init = self._find_method(cq, "__init__")
+                        if init is not None:
+                            fn.edges.append(CallEdge(init, line, "call"))
+                        resolved = cq
+        self._scan_ref_args(fn, mod, call)
+
+    def _resolve_method(self, fn: FunctionInfo, mod: ModuleInfo, recv: str,
+                        meth: str, locals_map: dict[str, str]) -> str | None:
+        cls_qual: str | None = None
+        if recv == "self" and fn.cls is not None:
+            cls_qual = fn.cls
+        elif "." not in recv and recv in locals_map:
+            cls_qual = locals_map[recv]
+        elif recv.startswith("self.") and fn.cls is not None:
+            attr = recv.split(".", 1)[1]
+            cls_qual = self.classes[fn.cls].attr_types.get(attr)
+        if cls_qual is None or cls_qual not in self.classes:
+            return None
+        return self._find_method(cls_qual, meth)
+
+    def _find_method(self, cls_qual: str, meth: str) -> str | None:
+        for name in self.mro_names(cls_qual):
+            cinfo = self.classes.get(name)
+            if cinfo is not None and meth in cinfo.methods:
+                return cinfo.methods[meth]
+        return None
+
+    def _resolve_ref(self, fn: FunctionInfo, mod: ModuleInfo,
+                     dotted: str) -> str | None:
+        """Resolve a *function reference* (not a call) to a qualname."""
+        if "." not in dotted:
+            # lexical scope first: nested defs of this function and ancestors
+            scope: FunctionInfo | None = fn
+            while scope is not None:
+                nested = f"{scope.qualname}.{dotted}"
+                if nested in self.functions:
+                    return nested
+                scope = (self.functions.get(scope.parent)
+                         if scope.parent else None)
+        target = self.resolve_function(mod, dotted)
+        if target is not None:
+            return target
+        if "." in dotted:
+            recv, _, meth = dotted.rpartition(".")
+            hit = self._resolve_method(fn, mod, recv, meth,
+                                       self.local_types(fn))
+            if hit is not None:
+                return hit
+            if meth in self.method_index:
+                cands = self.method_index[meth]
+                if len(cands) == 1:
+                    return cands[0]
+        return None
+
+    def _spawn_kind(self, fn: FunctionInfo, mod: ModuleInfo,
+                    call: ast.Call) -> str:
+        """Classify a call as a thread spawn, process spawn, or plain ref."""
+        name = dotted_name(call.func)
+        if name is None:
+            return "ref"
+        expanded = self.expand_name(mod, name)
+        if expanded in ("threading.Thread", "threading.Timer"):
+            return "spawn-thread"
+        if name.endswith(".run_in_executor"):
+            return "spawn-thread"
+        if name.endswith((".submit", ".map")) and "." in name:
+            recv = name.rpartition(".")[0]
+            rtype = None
+            if recv == "self" or recv.startswith("self."):
+                attr = recv.split(".", 1)[1] if "." in recv else None
+                if attr and fn.cls is not None:
+                    rtype = self.classes[fn.cls].attr_types.get(attr)
+            else:
+                rtype = self.local_types(fn).get(recv.partition(".")[0])
+            if rtype == "concurrent.futures.ProcessPoolExecutor":
+                return "spawn-process"
+            if rtype == "concurrent.futures.ThreadPoolExecutor":
+                return "spawn-thread"
+            return "spawn-thread" if rtype is None else "ref"
+        return "ref"
+
+    def _scan_ref_args(self, fn: FunctionInfo, mod: ModuleInfo,
+                       call: ast.Call, *, skip_first: bool = False) -> None:
+        """Record function references passed as arguments.
+
+        A reference passed to a *project* function that calls the matching
+        parameter becomes a ``higher-order`` call edge from each call site
+        of that parameter (bound in :meth:`_bind_higher_order`). Any other
+        reference becomes a ``ref``/``spawn-*`` edge used only for
+        reachability.
+        """
+        callee_name = dotted_name(call.func)
+        callee_qual = (self._resolve_ref(fn, mod, callee_name)
+                       if callee_name else None)
+        spawn = self._spawn_kind(fn, mod, call)
+        args = list(call.args)
+        if skip_first and args:
+            args = args[1:]
+        for idx, arg in enumerate(args):
+            self._record_ref(fn, mod, call, callee_qual, spawn, arg,
+                             pos=idx, kw=None)
+        for kw in call.keywords:
+            if kw.arg is not None:
+                self._record_ref(fn, mod, call, callee_qual, spawn, kw.value,
+                                 pos=None, kw=kw.arg)
+
+    def _record_ref(self, fn: FunctionInfo, mod: ModuleInfo, call: ast.Call,
+                    callee_qual: str | None, spawn: str, arg: ast.expr, *,
+                    pos: int | None, kw: str | None) -> None:
+        if isinstance(arg, ast.Lambda):
+            target = self._lambda_qual(fn, arg)
+        else:
+            name = dotted_name(arg)
+            if name is None:
+                return
+            target = self._resolve_ref(fn, mod, name)
+        if target is None:
+            return
+        if callee_qual is not None and callee_qual in self.functions:
+            self._pending_bindings.append(
+                (callee_qual, pos, kw, target, fn.qualname, call.lineno))
+        fn.edges.append(CallEdge(target, call.lineno, spawn))
+
+    def _lambda_qual(self, fn: FunctionInfo, node: ast.Lambda) -> str | None:
+        for qual, info in self.functions.items():
+            if info.node is node:
+                return qual
+        return None
+
+    def _bind_higher_order(self) -> None:
+        """Turn ``g(f)`` + ``fn_param(...)`` inside g into call edges."""
+        pc_by_owner: dict[str, list[ParamCall]] = {}
+        for info in self.functions.values():
+            for pc in info.param_calls:
+                pc_by_owner.setdefault(pc.owner, []).append(pc)
+        for (owner, pos, kw, target, _src, line) in self._pending_bindings:
+            owner_fn = self.functions.get(owner)
+            if owner_fn is None:
+                continue
+            params = list(owner_fn.params)
+            if owner_fn.cls is not None and params and params[0] in ("self",
+                                                                    "cls"):
+                params = params[1:]
+            param: str | None = None
+            if kw is not None:
+                param = kw if kw in params else None
+            elif pos is not None and pos < len(params):
+                param = params[pos]
+            if param is None:
+                continue
+            for pc in pc_by_owner.get(owner, ()):
+                if pc.param == param:
+                    site = self.functions[pc.site]
+                    site.edges.append(
+                        CallEdge(target, pc.line, "higher-order"))
+
+    # -- traversal helpers -------------------------------------------------
+
+    def callees(self, qual: str,
+                kinds: tuple[str, ...] = ("call", "dynamic", "partial",
+                                          "higher-order")) -> Iterator[CallEdge]:
+        fn = self.functions.get(qual)
+        if fn is None:
+            return
+        for edge in fn.edges:
+            if edge.kind in kinds:
+                yield edge
+
+    def reachable(self, roots: Iterable[str], *,
+                  kinds: tuple[str, ...] = ("call", "dynamic", "partial",
+                                            "higher-order", "ref",
+                                            "spawn-thread")) -> set[str]:
+        """Transitive closure over the given edge kinds, parents included.
+
+        A nested function's lexical parent is *not* auto-included, but a
+        reachable nested function does expose its parent's higher-order
+        edges (they were recorded on the site function already), so no
+        special casing is needed here.
+        """
+        seen: set[str] = set()
+        queue = [r for r in roots if r in self.functions]
+        while queue:
+            qual = queue.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for edge in self.functions[qual].edges:
+                if edge.kind in kinds and edge.callee not in seen:
+                    queue.append(edge.callee)
+        return seen
+
+
+# --------------------------------------------------------------------------
+# AST helpers
+
+
+def _param_names(args: ast.arguments) -> tuple[str, ...]:
+    names = [a.arg for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _walk_expressions(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``node`` without descending into nested def/class *bodies*."""
+    stack = [node]
+    first = True
+    while stack:
+        cur = stack.pop()
+        if not first and isinstance(cur, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        first = False
+        yield cur
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+def _own_calls(fn_node: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes belonging to this function, excluding nested defs/lambdas.
+
+    Lambdas are their own FunctionInfo, so their calls are attributed to
+    the lambda, not the enclosing function.
+    """
+    if isinstance(fn_node, ast.Lambda):
+        roots: list[ast.AST] = [fn_node.body]
+    else:
+        roots = list(fn_node.body)
+    stack: list[ast.AST] = list(roots)
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            continue
+        if isinstance(cur, ast.Call):
+            yield cur
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+__all__ = [
+    "CallEdge",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ParamCall",
+    "ProjectModel",
+    "AMBIENT_METHOD_NAMES",
+    "DYNAMIC_DISPATCH_CAP",
+    "TRACKED_EXTERNAL_TYPES",
+]

@@ -87,6 +87,30 @@ class ProjectRule(Rule):
         return ()
 
 
+class WholeProgramRule(Rule):
+    """A rule that runs once per ``--whole-program`` pass.
+
+    Instead of a single :class:`ModuleContext` it receives the linked
+    :class:`repro.analysis.project.ProjectModel` (symbol table + call
+    graph) and may emit diagnostics against any module in the model.
+    These rules are skipped entirely unless the engine is invoked with
+    ``whole_program=True`` — building the model costs one full parse of
+    ``src/repro``.
+    """
+
+    def check_program(self, model) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        return ()
+
+    def pdiag(self, relpath: str, line: int, message: str, *,
+              col: int = 0) -> Diagnostic:
+        return Diagnostic(rule_id=self.id, family=self.family, path=relpath,
+                          line=line, col=col, message=message,
+                          severity=self.severity)
+
+
 _RULES: dict[str, Rule] = {}
 
 
@@ -96,7 +120,10 @@ def register(cls):
     if not inst.id or not inst.family:
         raise ValueError(f"rule {cls.__name__} must define id and family")
     if inst.id in _RULES:
-        raise ValueError(f"duplicate rule id {inst.id}")
+        raise ValueError(
+            f"duplicate rule id {inst.id!r}: {cls.__name__} collides with "
+            f"already-registered {type(_RULES[inst.id]).__name__}; every "
+            "rule id must be unique across the registry")
     _RULES[inst.id] = inst
     return cls
 
@@ -148,6 +175,7 @@ def walk_functions(tree: ast.Module) -> Iterator[tuple[ast.AST, list[ast.AST]]]:
 __all__ = [
     "Rule",
     "ProjectRule",
+    "WholeProgramRule",
     "ModuleContext",
     "register",
     "all_rules",

@@ -7,20 +7,26 @@ Third-party/experiment rules can register the same way: subclass
 
 from repro.analysis.rules import (
     api_consistency,
+    concurrency,
     decode_safety,
     determinism,
     durability,
+    exception_flow,
     numpy_hygiene,
     obs_coverage,
     repo_hygiene,
+    resource_lifecycle,
 )
 
 __all__ = [
     "api_consistency",
+    "concurrency",
     "decode_safety",
     "determinism",
     "durability",
+    "exception_flow",
     "numpy_hygiene",
     "obs_coverage",
     "repo_hygiene",
+    "resource_lifecycle",
 ]

@@ -1,0 +1,486 @@
+"""CONC — concurrency rules (whole-program pass).
+
+Three failure modes the threaded service stack (PR 8) makes possible:
+
+* **CONC-001** — a blocking call (``time.sleep``, sync file/socket I/O,
+  ``pool.map``) directly in an ``async def`` body in ``repro.service`` /
+  ``repro.obs.server``, or reachable from one through sync project
+  calls. One blocked coroutine stalls every request on the loop. Nested
+  *sync* defs are exempt: they run on an executor, not the loop.
+
+* **CONC-002** — a write to module-level mutable state from a function
+  reachable by worker threads, without a module-level ``threading.Lock``
+  held. Thread roots are ``threading.Thread(target=...)``,
+  ``run_in_executor`` and thread-pool ``submit``/``map`` arguments;
+  process-pool submissions are excluded (workers get their own
+  interpreter, so module state is not shared).
+
+* **CONC-003** — two locks acquired in inconsistent order across the
+  project (``A`` then ``B`` in one function, ``B`` then ``A`` in
+  another): the classic deadlock shape. Lock identity is the module-level
+  name or ``Class.attr`` for ``self._lock``-style locks; order pairs
+  follow ``call`` edges so a function acquiring ``B`` inside a region
+  that holds ``A`` is seen even when the ``with`` blocks live in
+  different functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.project import FunctionInfo, ModuleInfo, ProjectModel
+from repro.analysis.registry import WholeProgramRule, dotted_name, register
+
+#: canonical (post-``expand_name``) names that block the event loop.
+BLOCKING_CALLS = {
+    "time.sleep": "time.sleep",
+    "os.system": "os.system",
+    "subprocess.run": "subprocess.run",
+    "subprocess.call": "subprocess.call",
+    "subprocess.check_call": "subprocess.check_call",
+    "subprocess.check_output": "subprocess.check_output",
+    "socket.create_connection": "socket.create_connection",
+    "urllib.request.urlopen": "urllib.request.urlopen",
+    "open": "sync file open",
+}
+
+LOCK_TYPES = frozenset({"threading.Lock", "threading.RLock"})
+
+#: async modules the loop-blocking rule watches.
+ASYNC_SCOPE_PREFIXES = ("repro.service", "repro.obs.server")
+
+_CHAIN_DEPTH = 6
+
+
+def _in_async_scope(modname: str) -> bool:
+    return any(modname == p or modname.startswith(p + ".")
+               for p in ASYNC_SCOPE_PREFIXES)
+
+
+def _own_calls_with_names(model: ProjectModel, fn: FunctionInfo):
+    """(Call node, canonical dotted name) for this function's own calls."""
+    mod = model.modules[fn.module]
+    if isinstance(fn.node, ast.Lambda):
+        stack: list[ast.AST] = [fn.node.body]
+    else:
+        stack = list(getattr(fn.node, "body", []))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            continue
+        if isinstance(cur, ast.Call):
+            name = dotted_name(cur.func)
+            if name is not None:
+                yield cur, name, model.expand_name(mod, name)
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+def _blocking_reason(model: ProjectModel, fn: FunctionInfo, call: ast.Call,
+                     name: str, canonical: str) -> str | None:
+    if canonical in BLOCKING_CALLS:
+        return BLOCKING_CALLS[canonical]
+    if "." in name and name.endswith((".map", ".result")):
+        recv = name.rpartition(".")[0]
+        rtype = None
+        if recv == "self" or recv.startswith("self."):
+            attr = recv.split(".", 1)[1] if "." in recv else None
+            if attr and fn.cls is not None:
+                rtype = model.classes[fn.cls].attr_types.get(attr)
+        else:
+            rtype = model.local_types(fn).get(recv.partition(".")[0])
+        if rtype in ("concurrent.futures.ThreadPoolExecutor",
+                     "concurrent.futures.ProcessPoolExecutor"):
+            return f"blocking executor {name.rpartition('.')[2]}()"
+    return None
+
+
+@register
+class NoBlockingInAsync(WholeProgramRule):
+    id = "CONC-001"
+    family = "concurrency"
+    description = ("blocking call (time.sleep / sync I/O / pool.map) inside "
+                   "an async def body")
+    rationale = ("the service runs every request on one event loop; a "
+                 "single blocking call stalls all in-flight requests — "
+                 "run blocking work via loop.run_in_executor instead")
+
+    def check_program(self, model: ProjectModel) -> Iterable[Diagnostic]:
+        for qual in sorted(model.functions):
+            fn = model.functions[qual]
+            if not fn.is_async or not _in_async_scope(fn.module):
+                continue
+            # direct blocking calls on the loop
+            for call, name, canonical in _own_calls_with_names(model, fn):
+                reason = _blocking_reason(model, fn, call, name, canonical)
+                if reason is not None:
+                    yield self.pdiag(
+                        fn.relpath, call.lineno,
+                        f"{fn.qualname}: {reason} blocks the event loop; "
+                        "await it via loop.run_in_executor")
+            # blocking calls reached through sync project callees
+            chain = self._find_blocking_chain(model, fn)
+            if chain is not None:
+                path, reason, line = chain
+                yield self.pdiag(
+                    fn.relpath, line,
+                    f"{fn.qualname}: calls {' -> '.join(path)} which "
+                    f"performs {reason} on the event loop; move the chain "
+                    "to an executor")
+
+    def _find_blocking_chain(self, model: ProjectModel, fn: FunctionInfo):
+        """DFS over sync ``call``/``higher-order`` edges for blocking work."""
+        seen = {fn.qualname}
+
+        def visit(qual: str, depth: int) -> tuple[list[str], str] | None:
+            if depth > _CHAIN_DEPTH:
+                return None
+            callee = model.functions.get(qual)
+            if callee is None or callee.is_async:
+                return None
+            for call, name, canonical in _own_calls_with_names(model, callee):
+                reason = _blocking_reason(model, callee, call, name, canonical)
+                if reason is not None:
+                    return [callee.qualname], reason
+            for edge in callee.edges:
+                if edge.kind not in ("call", "higher-order"):
+                    continue
+                if edge.callee in seen:
+                    continue
+                seen.add(edge.callee)
+                hit = visit(edge.callee, depth + 1)
+                if hit is not None:
+                    path, reason = hit
+                    return [callee.qualname, *path], reason
+            return None
+
+        for edge in fn.edges:
+            if edge.kind not in ("call", "higher-order"):
+                continue
+            if edge.callee in seen:
+                continue
+            seen.add(edge.callee)
+            hit = visit(edge.callee, 1)
+            if hit is not None:
+                path, reason = hit
+                return path, reason, edge.line
+        return None
+
+
+# --------------------------------------------------------------------------
+# CONC-002: unlocked module-state writes from thread-reachable code
+
+
+def _module_locks(model: ProjectModel, mod: ModuleInfo) -> set[str]:
+    locks = set()
+    for name, value in mod.assigns.items():
+        if isinstance(value, ast.Call):
+            ctor = dotted_name(value.func)
+            if ctor and model.expand_name(mod, ctor) in LOCK_TYPES:
+                locks.add(name)
+    return locks
+
+
+def _mutable_globals(model: ProjectModel, mod: ModuleInfo) -> set[str]:
+    """Module-level names that functions may write: containers + flags."""
+    out = set()
+    for name, value in mod.assigns.items():
+        if isinstance(value, (ast.List, ast.Dict, ast.Set)):
+            out.add(name)
+        elif isinstance(value, ast.Call):
+            ctor = dotted_name(value.func)
+            if ctor and model.expand_name(mod, ctor).rpartition(".")[2] in (
+                    "dict", "list", "set", "defaultdict", "deque",
+                    "OrderedDict", "Counter"):
+                out.add(name)
+    # any name a function rebinds via `global` is shared mutable state too
+    for fn in model.functions.values():
+        if fn.module != mod.name:
+            continue
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                out.update(n for n in node.names if n in mod.assigns)
+    return out
+
+
+_MUTATORS = frozenset({
+    "append", "add", "update", "setdefault", "pop", "popitem", "clear",
+    "extend", "remove", "insert", "discard", "appendleft",
+})
+
+
+def thread_roots(model: ProjectModel) -> set[str]:
+    return {e.callee for fn in model.functions.values()
+            for e in fn.edges if e.kind == "spawn-thread"}
+
+
+@register
+class LockedSharedState(WholeProgramRule):
+    id = "CONC-002"
+    family = "concurrency"
+    description = ("module-level mutable state written from thread-reachable "
+                   "code without a lock")
+    rationale = ("the service handlers and sinks run on worker threads; an "
+                 "unlocked read-modify-write on module state is a data race "
+                 "that shows up as lost telemetry or duplicated warnings "
+                 "under load")
+
+    def check_program(self, model: ProjectModel) -> Iterable[Diagnostic]:
+        reachable = model.reachable(thread_roots(model))
+        for qual in sorted(reachable):
+            fn = model.functions.get(qual)
+            if fn is None:
+                continue
+            yield from self._check_function(model, fn)
+
+    def _check_function(self, model: ProjectModel,
+                        fn: FunctionInfo) -> Iterable[Diagnostic]:
+        mod = model.modules[fn.module]
+        mutables = _mutable_globals(model, mod)
+        if not mutables:
+            return
+        locks = _module_locks(model, mod)
+        declared_global = {
+            n for node in ast.walk(fn.node) if isinstance(node, ast.Global)
+            for n in node.names}
+        locals_and_params = set(fn.params) | {
+            t.id for node in ast.walk(fn.node)
+            if isinstance(node, ast.Assign)
+            for t in node.targets if isinstance(t, ast.Name)
+        } - declared_global
+
+        def is_shared(name: str) -> bool:
+            if name not in mutables:
+                return False
+            # a rebound global needs the `global` declaration; container
+            # mutation reaches the module object without one
+            return name in declared_global or name not in locals_and_params
+
+        body = getattr(fn.node, "body", [])
+        if not isinstance(body, list):    # lambda: no write statements
+            return
+        yield from self._walk(model, fn, mod, locks, is_shared,
+                              body=body, locked=False)
+
+    def _walk(self, model, fn, mod, locks, is_shared, body,
+              locked) -> Iterable[Diagnostic]:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                holds = locked or any(
+                    self._is_lock_expr(model, fn, mod, locks,
+                                       item.context_expr)
+                    for item in stmt.items)
+                yield from self._walk(model, fn, mod, locks, is_shared,
+                                      stmt.body, holds)
+                continue
+            sub_blocks = [getattr(stmt, attr, []) for attr in
+                          ("body", "orelse", "finalbody")]
+            handlers = getattr(stmt, "handlers", [])
+            if any(sub_blocks) or handlers:
+                for block in sub_blocks:
+                    yield from self._walk(model, fn, mod, locks, is_shared,
+                                          block, locked)
+                for handler in handlers:
+                    yield from self._walk(model, fn, mod, locks, is_shared,
+                                          handler.body, locked)
+                # fall through: the statement head may also write
+            if not locked:
+                yield from self._writes_in(fn, stmt, is_shared)
+
+    def _is_lock_expr(self, model: ProjectModel, fn: FunctionInfo,
+                      mod: ModuleInfo, locks: set[str],
+                      expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Name):
+            return expr.id in locks
+        name = dotted_name(expr)
+        if name and name.startswith("self.") and fn.cls is not None:
+            attr = name.split(".", 1)[1]
+            if "." not in attr and \
+                    model.classes[fn.cls].attr_types.get(attr) in LOCK_TYPES:
+                return True
+        return False
+
+    def _writes_in(self, fn: FunctionInfo, stmt: ast.stmt,
+                   is_shared) -> Iterable[Diagnostic]:
+        head_nodes = self._head_nodes(stmt)
+        for node in head_nodes:
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for tgt in targets:
+                    base = tgt
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Name) and is_shared(base.id):
+                        yield self._finding(fn, node, base.id)
+            elif isinstance(node, ast.Delete):
+                for tgt in node.targets:
+                    base = tgt.value if isinstance(tgt, ast.Subscript) else tgt
+                    if isinstance(base, ast.Name) and is_shared(base.id):
+                        yield self._finding(fn, node, base.id)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name and "." in name:
+                    recv, _, meth = name.rpartition(".")
+                    if meth in _MUTATORS and "." not in recv \
+                            and is_shared(recv):
+                        yield self._finding(fn, node, recv)
+
+    def _head_nodes(self, stmt: ast.stmt):
+        """Nodes of a statement excluding nested block bodies and defs."""
+        skip_blocks = {id(s) for attr in ("body", "orelse", "finalbody")
+                       for s in getattr(stmt, attr, [])}
+        for handler in getattr(stmt, "handlers", []):
+            skip_blocks.update(id(s) for s in handler.body)
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            cur = stack.pop()
+            if id(cur) in skip_blocks and cur is not stmt:
+                continue
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.Lambda)) and cur is not stmt:
+                continue
+            yield cur
+            for child in ast.iter_child_nodes(cur):
+                if id(child) not in skip_blocks:
+                    stack.append(child)
+
+    def _finding(self, fn: FunctionInfo, node: ast.AST,
+                 name: str) -> Diagnostic:
+        return self.pdiag(
+            fn.relpath, getattr(node, "lineno", fn.line),
+            f"{fn.qualname}: module-level state '{name}' is written here "
+            "and this function is reachable from worker threads; guard "
+            "the write with a module-level threading.Lock")
+
+
+# --------------------------------------------------------------------------
+# CONC-003: inconsistent lock-acquisition order
+
+
+def _lock_identity(model: ProjectModel, fn: FunctionInfo, mod: ModuleInfo,
+                   module_locks: set[str], expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name) and expr.id in module_locks:
+        return f"{mod.name}.{expr.id}"
+    name = dotted_name(expr)
+    if name and name.startswith("self.") and fn.cls is not None:
+        attr = name.split(".", 1)[1]
+        if "." in attr:
+            return None
+        if model.classes[fn.cls].attr_types.get(attr) in LOCK_TYPES:
+            return f"{fn.cls}.{attr}"
+    return None
+
+
+@register
+class ConsistentLockOrder(WholeProgramRule):
+    id = "CONC-003"
+    family = "concurrency"
+    description = "two locks acquired in inconsistent order across functions"
+    rationale = ("thread A holding L1 waiting on L2 while thread B holds "
+                 "L2 waiting on L1 deadlocks the service with no traceback; "
+                 "a single global acquisition order eliminates the cycle")
+
+    def check_program(self, model: ProjectModel) -> Iterable[Diagnostic]:
+        acquires: dict[str, set[str]] = {}   # fn qual -> lock ids acquired
+        pairs: dict[tuple[str, str], tuple[str, int, str]] = {}
+
+        def record(fn: FunctionInfo, held: tuple[str, ...], lock: str,
+                   line: int) -> None:
+            for h in held:
+                if h != lock and (h, lock) not in pairs:
+                    pairs[(h, lock)] = (fn.relpath, line, fn.qualname)
+
+        def walk(fn: FunctionInfo, mod: ModuleInfo, module_locks: set[str],
+                 body, held: tuple[str, ...]) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    new_held = held
+                    for item in stmt.items:
+                        lock = _lock_identity(model, fn, mod, module_locks,
+                                              item.context_expr)
+                        if lock is not None:
+                            acquires.setdefault(fn.qualname, set()).add(lock)
+                            record(fn, new_held, lock, stmt.lineno)
+                            new_held = (*new_held, lock)
+                    walk(fn, mod, module_locks, stmt.body, new_held)
+                    continue
+                for attr in ("body", "orelse", "finalbody"):
+                    sub = getattr(stmt, attr, [])
+                    if sub:
+                        walk(fn, mod, module_locks, sub, held)
+                for handler in getattr(stmt, "handlers", []):
+                    walk(fn, mod, module_locks, handler.body, held)
+
+        mod_locks_cache: dict[str, set[str]] = {}
+        for qual in sorted(model.functions):
+            fn = model.functions[qual]
+            mod = model.modules[fn.module]
+            if mod.name not in mod_locks_cache:
+                mod_locks_cache[mod.name] = _module_locks(model, mod)
+            body = getattr(fn.node, "body", [])
+            if isinstance(body, list):
+                walk(fn, mod, mod_locks_cache[mod.name], body, ())
+
+        # propagate one call hop: holding A while calling f() that acquires B
+        for qual in sorted(model.functions):
+            fn = model.functions[qual]
+            mod = model.modules[fn.module]
+            module_locks = mod_locks_cache[mod.name]
+            self._call_pairs(model, fn, mod, module_locks, acquires, pairs)
+
+        conflicts = sorted(
+            (a, b) for (a, b) in pairs
+            if (b, a) in pairs and a < b)
+        for a, b in conflicts:
+            path, line, where = pairs[(a, b)]
+            rpath, rline, rwhere = pairs[(b, a)]
+            yield self.pdiag(
+                path, line,
+                f"{where}: acquires {a} then {b}, but {rwhere} "
+                f"({rpath}:{rline}) acquires them in the opposite order; "
+                "pick one global order")
+
+    def _call_pairs(self, model, fn, mod, module_locks, acquires,
+                    pairs) -> None:
+        def walk(body, held):
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    new_held = held
+                    for item in stmt.items:
+                        lock = _lock_identity(model, fn, mod, module_locks,
+                                              item.context_expr)
+                        if lock is not None:
+                            new_held = (*new_held, lock)
+                    if new_held != held and new_held:
+                        start = getattr(stmt, "lineno", 0)
+                        end = getattr(stmt, "end_lineno", start)
+                        for edge in fn.edges:
+                            if edge.kind in ("call", "higher-order") \
+                                    and start <= edge.line <= end:
+                                for lock in acquires.get(edge.callee, ()):
+                                    for h in new_held:
+                                        if h != lock and (h, lock) not in pairs:
+                                            pairs[(h, lock)] = (
+                                                fn.relpath, edge.line,
+                                                fn.qualname)
+                    walk(stmt.body, new_held)
+                    continue
+                for attr in ("body", "orelse", "finalbody"):
+                    sub = getattr(stmt, attr, [])
+                    if sub:
+                        walk(sub, held)
+                for handler in getattr(stmt, "handlers", []):
+                    walk(handler.body, held)
+
+        body = getattr(fn.node, "body", [])
+        if isinstance(body, list):
+            walk(body, ())

@@ -1,0 +1,190 @@
+"""RES — resource-lifecycle rules (whole-program pass).
+
+The shm arena work in PR 6 and the service executors in PR 8 made leaked
+OS resources the most expensive class of bug in this codebase: a leaked
+``SharedMemory`` segment survives the process and eats ``/dev/shm`` until
+reboot. This rule enforces the repo's ownership discipline for every
+tracked acquisition assigned to a local name:
+
+* released in a ``finally`` block (or the acquisition is a ``with`` item
+  to begin with — those never reach this rule),
+* **or** returned/yielded to the caller (ownership transfer up),
+* **or** explicitly handed to another owner on a line annotated with
+  ``# repro-lint: owns=<name>`` — e.g. appending a segment to an arena
+  that releases it in its own ``close()``.
+
+Tracked constructors: ``open``/``os.open``, ``shared_memory.SharedMemory``,
+``TemporaryDirectory``/``NamedTemporaryFile``, thread/process pool
+executors, and raw sockets. The check is per-function and syntactic — a
+resource smuggled out through a container without a marker is still
+flagged, which is the point: the marker documents the handoff for the
+next reader, not just for the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.project import FunctionInfo, ModuleInfo, ProjectModel
+from repro.analysis.registry import WholeProgramRule, dotted_name, register
+
+#: canonical (post-``expand_name``) constructors we track.
+TRACKED_ACQUIRERS = {
+    "open": "file handle",
+    "os.open": "file descriptor",
+    "os.fdopen": "file handle",
+    "multiprocessing.shared_memory.SharedMemory": "shared-memory segment",
+    "tempfile.TemporaryDirectory": "temporary directory",
+    "tempfile.NamedTemporaryFile": "temporary file",
+    "concurrent.futures.ThreadPoolExecutor": "thread pool",
+    "concurrent.futures.ProcessPoolExecutor": "process pool",
+    "socket.socket": "socket",
+}
+
+#: method names that count as releasing the resource in a ``finally``.
+RELEASE_METHODS = frozenset({
+    "close", "unlink", "shutdown", "cleanup", "terminate", "join",
+    "release",
+})
+
+OWNS_RE = re.compile(r"#\s*repro-lint:\s*owns=([\w,\s]+)")
+
+
+def _owns_markers(mod: ModuleInfo) -> dict[int, set[str]]:
+    """``line -> names`` for every ``# repro-lint: owns=...`` comment."""
+    out: dict[int, set[str]] = {}
+    for lineno, line in enumerate(mod.source.splitlines(), start=1):
+        m = OWNS_RE.search(line)
+        if m:
+            names = {n.strip() for n in m.group(1).split(",") if n.strip()}
+            out[lineno] = names
+    return out
+
+
+def _own_nodes(fn_node: ast.AST):
+    """Nodes of this function body, not descending into nested defs."""
+    if isinstance(fn_node, ast.Lambda):
+        stack: list[ast.AST] = [fn_node.body]
+    else:
+        stack = list(getattr(fn_node, "body", []))
+    while stack:
+        cur = stack.pop()
+        if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            continue
+        yield cur
+        stack.extend(ast.iter_child_nodes(cur))
+
+
+def _names_in(expr: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(expr) if isinstance(n, ast.Name)}
+
+
+@register
+class ResourceReleasedOnAllPaths(WholeProgramRule):
+    id = "RES-001"
+    family = "resource-lifecycle"
+    description = ("acquired resource (shm segment, file, tempdir, pool) "
+                   "not released on all paths")
+    rationale = ("a leaked SharedMemory segment outlives the process and "
+                 "fills /dev/shm; a leaked executor strands worker "
+                 "processes — release in try/finally or a with block, "
+                 "return the handle, or annotate the handoff with "
+                 "`# repro-lint: owns=<name>`")
+
+    def check_program(self, model: ProjectModel) -> Iterable[Diagnostic]:
+        for qual in sorted(model.functions):
+            fn = model.functions[qual]
+            yield from self._check_function(model, fn)
+
+    # -- per-function ------------------------------------------------------
+
+    def _check_function(self, model: ProjectModel,
+                        fn: FunctionInfo) -> Iterable[Diagnostic]:
+        mod = model.modules[fn.module]
+        acquisitions: list[tuple[str, ast.Call, str]] = []
+        for node in _own_nodes(fn.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            name = dotted_name(node.value.func)
+            if name is None:
+                continue
+            canonical = model.expand_name(mod, name)
+            if canonical in TRACKED_ACQUIRERS:
+                acquisitions.append((node.targets[0].id, node.value,
+                                     TRACKED_ACQUIRERS[canonical]))
+        if not acquisitions:
+            return
+        markers = _owns_markers(mod)
+        released = self._released_names(fn)
+        transferred = self._transferred_names(fn)
+        handed_off = self._marker_names(fn, markers)
+        for var, call, kind in acquisitions:
+            if var in released or var in transferred or var in handed_off:
+                continue
+            yield self.pdiag(
+                fn.relpath, call.lineno,
+                f"{fn.qualname}: local '{var}' acquires a {kind} that is "
+                "not released on all paths; close it in a finally/with, "
+                "return it to the caller, or annotate the handoff with "
+                f"`# repro-lint: owns={var}`")
+
+    def _released_names(self, fn: FunctionInfo) -> set[str]:
+        """Names released inside some ``finally`` block or managed ``with``."""
+        out: set[str] = set()
+        for node in _own_nodes(fn.node):
+            if isinstance(node, ast.Try):
+                for sub in node.finalbody:
+                    out |= self._release_calls(sub)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    # `with seg:` / `with closing(seg):` both manage `seg`
+                    out |= _names_in(item.context_expr)
+        return out
+
+    def _release_calls(self, stmt: ast.stmt) -> set[str]:
+        out: set[str] = set()
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name and "." in name:
+                recv, _, meth = name.rpartition(".")
+                if meth in RELEASE_METHODS and "." not in recv:
+                    out.add(recv)
+            # os.close(fd), shutil.rmtree(d), _close_all(seg) — any call
+            # receiving the name inside a finally counts as a release path
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    out.add(arg.id)
+        return out
+
+    def _transferred_names(self, fn: FunctionInfo) -> set[str]:
+        """Names whose ownership provably leaves the function."""
+        out: set[str] = set()
+        for node in _own_nodes(fn.node):
+            if isinstance(node, (ast.Return, ast.Yield)) \
+                    and node.value is not None:
+                out |= _names_in(node.value)
+            elif isinstance(node, ast.Assign):
+                # self.x = n / container[k] = n: instance takes ownership
+                for tgt in node.targets:
+                    if isinstance(tgt, (ast.Attribute, ast.Subscript)) \
+                            and isinstance(node.value, ast.Name):
+                        out.add(node.value.id)
+        return out
+
+    def _marker_names(self, fn: FunctionInfo,
+                      markers: dict[int, set[str]]) -> set[str]:
+        out: set[str] = set()
+        end = getattr(fn.node, "end_lineno", None)
+        start = getattr(fn.node, "lineno", 1)
+        for lineno, names in markers.items():
+            if end is None or start <= lineno <= end:
+                out |= names
+        return out

@@ -181,6 +181,7 @@ def _apply_job_faults(directive: JobFaults | None, attempt: int, *,
         time.sleep(directive.delay)
 
 
+_timeout_fallback_lock = threading.Lock()
 _timeout_fallback_warned = False
 
 
@@ -188,13 +189,15 @@ def _warn_timeout_fallback() -> None:
     """One-shot warning that SIGALRM preemption is unavailable here."""
     global _timeout_fallback_warned
     obs.inc_counter("parallel.timeout_unenforced")
-    if not _timeout_fallback_warned:
+    with _timeout_fallback_lock:
+        if _timeout_fallback_warned:
+            return
         _timeout_fallback_warned = True
-        warnings.warn(
-            "per-job timeout requested off the main thread: SIGALRM cannot "
-            "preempt here, so the deadline is enforced post-hoc (the attempt "
-            "runs to completion, then raises TimeoutError if it overran)",
-            RuntimeWarning, stacklevel=3)
+    warnings.warn(
+        "per-job timeout requested off the main thread: SIGALRM cannot "
+        "preempt here, so the deadline is enforced post-hoc (the attempt "
+        "runs to completion, then raises TimeoutError if it overran)",
+        RuntimeWarning, stacklevel=3)
 
 
 def _run_attempt(fn, payload, directive: JobFaults | None, attempt: int,

@@ -1,0 +1,19 @@
+"""A call cycle: the fixpoint and reachability must both terminate."""
+
+
+class RingError(RuntimeError):
+    pass
+
+
+def ping(n):
+    if n <= 0:
+        raise RingError("bottom")
+    return pong(n - 1)
+
+
+def pong(n):
+    return ping(n - 1)
+
+
+def entry(n):
+    return ping(n)

@@ -1,0 +1,31 @@
+"""Same-named methods on two classes plus typed/untyped receivers."""
+
+
+class FastCodec:
+    def pack(self, data):
+        return bytes(data)
+
+    def get(self, key):
+        return key
+
+
+class SafeCodec:
+    def pack(self, data):
+        return bytes(reversed(data))
+
+
+def run_typed(codec: FastCodec, data):
+    return codec.pack(data)         # precise: annotation types the receiver
+
+
+def run_untyped(codec, data):
+    return codec.pack(data)         # dynamic: fans out to both classes
+
+
+def run_ambient(table, key):
+    return table.get(key)             # ambient dict-style name: no fallback
+
+
+def run_constructed(data):
+    codec = SafeCodec()
+    return codec.pack(data)         # precise: constructor types the local

@@ -1,0 +1,18 @@
+"""functools.partial binds a project function for a later call."""
+
+import functools
+
+
+def worker(scale, value):
+    if scale == 0:
+        raise ZeroDivisionError("scale")
+    return value / scale
+
+
+def make_job(scale):
+    return functools.partial(worker, scale)
+
+
+def run(value):
+    job = make_job(2)
+    return job(value)

@@ -1,0 +1,18 @@
+"""PEP 562 lazy exports, spelled the way the real package root does."""
+
+import importlib
+
+__all__ = ["heavy_op"]
+
+#: Lazily resolved public symbols: name -> (defining module, attribute).
+_LAZY_EXPORTS = {
+    "heavy_op": ("repro.lazy.impl", "heavy_op"),
+}
+
+
+def __getattr__(name):
+    try:
+        modname, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(name) from None
+    return getattr(importlib.import_module(modname), attr)

@@ -1,0 +1,2 @@
+def heavy_op(x):
+    return x * 2

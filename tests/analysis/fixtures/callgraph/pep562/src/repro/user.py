@@ -1,0 +1,7 @@
+"""Calls through the lazy package attribute."""
+
+from repro import lazy
+
+
+def consume(x):
+    return lazy.heavy_op(x)

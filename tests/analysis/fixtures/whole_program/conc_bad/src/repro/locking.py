@@ -1,0 +1,18 @@
+"""The classic two-lock deadlock shape."""
+
+import threading
+
+_alpha = threading.Lock()
+_beta = threading.Lock()
+
+
+def forward():
+    with _alpha:
+        with _beta:                  # CONC-003 vs backward()
+            return 1
+
+
+def backward():
+    with _beta:
+        with _alpha:
+            return 2

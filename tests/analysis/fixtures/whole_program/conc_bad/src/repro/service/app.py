@@ -1,0 +1,28 @@
+"""Loop-blocking calls and an unlocked thread-shared write."""
+
+import threading
+import time
+
+_pending = []
+
+
+async def handle_tick():
+    time.sleep(0.1)                  # CONC-001: blocks the loop directly
+
+
+def _drain():
+    time.sleep(0.5)
+
+
+async def handle_flush():
+    _drain()                         # CONC-001: blocking via a sync callee
+
+
+def _record(item):
+    _pending.append(item)            # CONC-002: unlocked, thread-reachable
+
+
+def start():
+    worker = threading.Thread(target=_record)
+    worker.start()
+    return worker

@@ -1,0 +1,18 @@
+"""Both call sites honour the same global acquisition order."""
+
+import threading
+
+_alpha = threading.Lock()
+_beta = threading.Lock()
+
+
+def forward():
+    with _alpha:
+        with _beta:
+            return 1
+
+
+def also_forward():
+    with _alpha:
+        with _beta:
+            return 2

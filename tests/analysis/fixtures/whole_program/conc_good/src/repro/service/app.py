@@ -1,0 +1,22 @@
+"""The same shapes done right: await, executor hand-off, locked writes."""
+
+import asyncio
+import threading
+
+_pending = []
+_pending_lock = threading.Lock()
+
+
+async def handle_tick():
+    await asyncio.sleep(0.1)
+
+
+def _record(item):
+    with _pending_lock:
+        _pending.append(item)
+
+
+def start():
+    worker = threading.Thread(target=_record)
+    worker.start()
+    return worker

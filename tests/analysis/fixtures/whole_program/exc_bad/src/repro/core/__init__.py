@@ -1,0 +1,7 @@
+"""A codec entry point leaking a type outside DECODE_ERRORS."""
+
+
+def compress(data):
+    if not data:
+        raise OSError("no scratch space")    # EXC-001
+    return bytes(data)

@@ -1,0 +1,11 @@
+"""A parallel API entry leaking a type outside its vocabulary."""
+
+
+class ParallelJobError(RuntimeError):
+    pass
+
+
+def compress_many(jobs):
+    if not jobs:
+        raise IndexError("no jobs")          # EXC-001
+    raise ParallelJobError("covered: own error type")

@@ -1,0 +1,21 @@
+"""Two bad handlers: an undeclared escape and an unprovable one."""
+
+from repro.service.schemas import BadRequestError
+
+
+def _lookup(key):
+    raise KeyError(key)
+
+
+def _mirror(exc):
+    raise type(exc)(str(exc))
+
+
+def do_fetch(key):
+    if not key:
+        raise BadRequestError("empty key")
+    return _lookup(key)          # KeyError escapes: EXC-001
+
+
+def do_echo(exc):
+    _mirror(exc)                 # dynamic raise escapes: EXC-002

@@ -1,0 +1,9 @@
+"""A codec entry point that only raises the decode vocabulary."""
+
+from repro.encoding.container import ChecksumError
+
+
+def compress(data):
+    if not data:
+        raise ChecksumError("empty payload")
+    return bytes(data)

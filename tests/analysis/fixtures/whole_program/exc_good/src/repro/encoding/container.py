@@ -1,0 +1,8 @@
+"""Stand-in decode vocabulary at the canonical module path."""
+
+
+class ChecksumError(ValueError):
+    pass
+
+
+DECODE_ERRORS = (ChecksumError, ValueError)

@@ -1,0 +1,22 @@
+"""Handlers whose escapes stay inside the declared vocabulary."""
+
+from repro.encoding.container import DECODE_ERRORS
+from repro.service.schemas import BadRequestError
+
+
+def _lookup(key):
+    raise KeyError(key)
+
+
+def do_fetch(key):
+    try:
+        return _lookup(key)
+    except KeyError as exc:
+        raise BadRequestError(str(exc)) from exc
+
+
+def do_decode(blob):
+    try:
+        return bytes(blob)
+    except DECODE_ERRORS:
+        raise BadRequestError("undecodable blob")

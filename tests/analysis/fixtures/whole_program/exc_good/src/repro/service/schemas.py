@@ -1,0 +1,9 @@
+"""Stand-in service vocabulary at the canonical module path."""
+
+
+class ServiceError(Exception):
+    pass
+
+
+class BadRequestError(ServiceError):
+    pass

@@ -1,0 +1,16 @@
+"""Leaked resources: no finally, no with, no transfer, no owns marker."""
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+
+
+def leak_segment(n):
+    seg = shared_memory.SharedMemory(create=True, size=n)   # RES-001
+    seg.buf[:1] = b"x"
+    return n
+
+
+def leak_pool(items):
+    pool = ThreadPoolExecutor(max_workers=2)                # RES-001
+    futures = [pool.submit(str, item) for item in items]
+    return [f.done() for f in futures]

@@ -1,0 +1,40 @@
+"""Every tracked acquisition takes one of the sanctioned release paths."""
+
+from concurrent.futures import ThreadPoolExecutor
+from multiprocessing import shared_memory
+from tempfile import TemporaryDirectory
+
+
+def finally_released(n):
+    seg = shared_memory.SharedMemory(create=True, size=n)
+    try:
+        seg.buf[:1] = b"x"
+        return bytes(seg.buf[:1])
+    finally:
+        seg.close()
+        seg.unlink()
+
+
+def with_managed(items):
+    with TemporaryDirectory() as scratch:
+        return [scratch + "/" + str(item) for item in items]
+
+
+def transferred(n):
+    seg = shared_memory.SharedMemory(create=True, size=n)
+    return seg                        # caller owns it now
+
+
+def handed_off(arena, n):
+    seg = shared_memory.SharedMemory(create=True, size=n)
+    arena.adopt(seg)                  # repro-lint: owns=seg
+    return arena
+
+
+class PoolHolder:
+    def __init__(self):
+        pool = ThreadPoolExecutor(max_workers=1)
+        self._pool = pool             # instance takes ownership
+
+    def close(self):
+        self._pool.shutdown(wait=True)

@@ -23,6 +23,45 @@ def test_repo_tree_is_lint_clean():
     assert result.files_checked > 100  # sanity: it actually walked the tree
 
 
+def test_repo_tree_is_whole_program_clean():
+    """`repro-lint --whole-program` with the committed baseline exits 0.
+
+    Every finding must be either fixed in source or carried in
+    ``lint-baseline.json`` with a reason; a stale baseline entry shows up
+    here as a BAS-001 warning diagnostic and fails the assertion too.
+    """
+    from repro.analysis import Baseline
+
+    baseline = Baseline.load(ROOT / "lint-baseline.json")
+    engine = LintEngine(config=load_config(ROOT / "pyproject.toml"), root=ROOT)
+    result = engine.run([], whole_program=True, baseline=baseline)
+    assert result.diagnostics == [], "\n".join(
+        d.format_text() for d in result.diagnostics)
+    assert result.exit_code == 0
+    # the baseline is doing work, not rotting: every entry matched
+    assert baseline.stale_entries() == []
+    assert any(d.rule_id.startswith(("EXC", "CONC", "RES"))
+               for d in result.suppressed) or result.suppressed == []
+
+
+def test_cli_whole_program_json_smoke(tmp_path):
+    """The CI invocation end-to-end: --whole-program --json, baseline from
+    pyproject, machine-readable artifact written."""
+    out = tmp_path / "whole-program.json"
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src", "tests",
+         "--whole-program", "--json", "--output", str(out)],
+        cwd=ROOT, capture_output=True, text=True,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["summary"]["total"] == 0
+    wp_rules = {"EXC-001", "EXC-002", "RES-001",
+                "CONC-001", "CONC-002", "CONC-003"}
+    assert wp_rules <= set(payload["rules_run"])
+
+
 def test_hyg001_fires_on_tracked_bytecode(tmp_path):
     """True positive for the project-level rule: a committed .pyc fails."""
     import os

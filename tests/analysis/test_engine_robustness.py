@@ -1,0 +1,118 @@
+"""Engine robustness: unparseable inputs, the --jobs fan-out, registry
+invariants. A broken file must cost one SYNTAX finding, never a crash."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import LintConfig, LintEngine
+from repro.analysis.cli import main as lint_main
+from repro.analysis.registry import _RULES, Rule, register
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _engine(root: Path) -> LintEngine:
+    return LintEngine(config=LintConfig(), root=root)
+
+
+# -- unparseable / unreadable files ---------------------------------------
+
+
+def test_syntax_error_yields_one_diagnostic(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n    pass\n", encoding="utf-8")
+    result = _engine(tmp_path).run([bad])
+    assert [d.rule_id for d in result.diagnostics] == ["SYNTAX"]
+    assert result.diagnostics[0].line == 1
+    assert result.exit_code == 1
+
+
+def test_null_bytes_yield_syntax_not_crash(tmp_path):
+    bad = tmp_path / "nul.py"
+    bad.write_bytes(b"x = 1\x00\n")
+    result = _engine(tmp_path).run([bad])
+    assert [d.rule_id for d in result.diagnostics] == ["SYNTAX"]
+    # 3.12+ parses null bytes into a SyntaxError; older ast raised ValueError
+    assert "null bytes" in result.diagnostics[0].message
+
+
+def test_non_utf8_yields_syntax_not_crash(tmp_path):
+    bad = tmp_path / "latin.py"
+    bad.write_bytes(b"# caf\xe9\nx = 1\n")
+    result = _engine(tmp_path).run([bad])
+    assert [d.rule_id for d in result.diagnostics] == ["SYNTAX"]
+    assert "unreadable" in result.diagnostics[0].message
+
+
+def test_linting_continues_past_broken_files(tmp_path):
+    (tmp_path / "a_broken.py").write_text("def f(:\n", encoding="utf-8")
+    (tmp_path / "b_fine.py").write_text("x = 1\n", encoding="utf-8")
+    result = _engine(tmp_path).run([tmp_path])
+    assert result.files_checked == 2
+    assert [d.rule_id for d in result.diagnostics] == ["SYNTAX"]
+    assert result.diagnostics[0].path.endswith("a_broken.py")
+
+
+# -- --jobs fan-out --------------------------------------------------------
+
+
+def _comparable(result):
+    return ([(d.path, d.line, d.rule_id, d.message) for d in result.diagnostics],
+            [(d.path, d.line, d.rule_id) for d in result.suppressed],
+            result.files_checked)
+
+
+def test_parallel_jobs_match_serial_run():
+    root = Path(__file__).parents[2]
+    paths = [root / "src" / "repro" / "analysis"]
+    serial = _engine(root).run(paths, jobs=1)
+    fanned = _engine(root).run(paths, jobs=2)
+    assert _comparable(serial) == _comparable(fanned)
+
+
+def test_parallel_jobs_match_on_fixture_corpus(tmp_path):
+    """Same diagnostics, same order, with broken files in the mix."""
+    for i in range(6):
+        (tmp_path / f"mod_{i}.py").write_text(
+            "import time\n\ndef stamp():\n    return time.time()\n",
+            encoding="utf-8")
+    (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+    serial = _engine(tmp_path).run([tmp_path], jobs=1)
+    fanned = _engine(tmp_path).run([tmp_path], jobs=3)
+    assert _comparable(serial) == _comparable(fanned)
+    assert serial.files_checked == 7
+
+
+def test_cli_rejects_bad_jobs(capsys):
+    code = lint_main([str(FIXTURES / "determinism/bad_wallclock.py"),
+                      "--no-config", "--jobs", "0"])
+    assert code == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_cli_ignore_is_an_alias_for_disable(capsys):
+    fixture = str(FIXTURES / "determinism/bad_wallclock.py")
+    args = [fixture, "--lint-as", "src/repro/core/stamp.py",
+            "--no-config", "--disable", "HYG"]
+    assert lint_main(args) == 1
+    capsys.readouterr()
+    assert lint_main(args + ["--ignore", "DET"]) == 0
+
+
+# -- registry invariants ---------------------------------------------------
+
+
+def test_duplicate_rule_id_is_rejected():
+    class Imposter(Rule):
+        id = "DET-001"
+        family = "determinism"
+        description = "duplicate"
+
+        def check(self, ctx):
+            return ()
+
+    original = _RULES["DET-001"]
+    with pytest.raises(ValueError, match="duplicate rule id 'DET-001'"):
+        register(Imposter)
+    assert _RULES["DET-001"] is original   # registry left untouched

@@ -1,0 +1,110 @@
+"""ProjectModel unit tests against the callgraph fixture packages.
+
+Each fixture package isolates one resolution feature: typed vs dynamic
+method dispatch, call cycles, ``functools.partial``, and PEP 562 lazy
+exports.
+"""
+
+from pathlib import Path
+
+from repro.analysis.project import AMBIENT_METHOD_NAMES, ProjectModel
+from repro.analysis.rules.exception_flow import get_escape_analyzer
+
+FIXTURES = Path(__file__).parent / "fixtures" / "callgraph"
+
+
+def _model(tree: str) -> ProjectModel:
+    model = ProjectModel.build(FIXTURES / tree)
+    assert model.errors == []
+    return model
+
+
+def _edges(model: ProjectModel, qual: str):
+    return [(e.callee, e.kind) for e in model.functions[qual].edges]
+
+
+# -- dynamic dispatch ------------------------------------------------------
+
+
+def test_annotated_receiver_resolves_precisely():
+    model = _model("dispatch")
+    edges = _edges(model, "repro.codecs.run_typed")
+    assert edges == [("repro.codecs.FastCodec.pack", "call")]
+
+
+def test_untyped_receiver_fans_out_dynamically():
+    model = _model("dispatch")
+    edges = _edges(model, "repro.codecs.run_untyped")
+    assert set(edges) == {
+        ("repro.codecs.FastCodec.pack", "dynamic"),
+        ("repro.codecs.SafeCodec.pack", "dynamic"),
+    }
+
+
+def test_ambient_method_names_never_dispatch():
+    """``table.get(...)`` must not resolve to every project ``get``."""
+    assert "get" in AMBIENT_METHOD_NAMES
+    model = _model("dispatch")
+    assert _edges(model, "repro.codecs.run_ambient") == []
+
+
+def test_constructed_local_resolves_precisely():
+    model = _model("dispatch")
+    edges = _edges(model, "repro.codecs.run_constructed")
+    assert edges == [("repro.codecs.SafeCodec.pack", "call")]
+
+
+# -- cycles ----------------------------------------------------------------
+
+
+def test_cycle_terminates_and_reaches_both_sides():
+    model = _model("cycles")
+    reach = model.reachable(["repro.ring.entry"])
+    assert {"repro.ring.ping", "repro.ring.pong"} <= reach
+
+
+def test_cycle_escape_fixpoint_converges():
+    model = _model("cycles")
+    analyzer = get_escape_analyzer(model)
+    for qual in ("repro.ring.entry", "repro.ring.ping", "repro.ring.pong"):
+        assert "repro.ring.RingError" in analyzer.summaries[qual]
+
+
+# -- functools.partial -----------------------------------------------------
+
+
+def test_partial_binds_the_eventual_callee():
+    model = _model("partials")
+    edges = _edges(model, "repro.defer.make_job")
+    assert ("repro.defer.worker", "partial") in edges
+
+
+def test_partial_carries_exception_flow():
+    model = _model("partials")
+    analyzer = get_escape_analyzer(model)
+    assert "ZeroDivisionError" in analyzer.summaries["repro.defer.make_job"]
+
+
+# -- PEP 562 lazy exports --------------------------------------------------
+
+
+def test_lazy_export_dict_is_scraped():
+    model = _model("pep562")
+    mod = model.modules["repro.lazy"]
+    assert mod.has_getattr
+    assert mod.lazy_exports == {"heavy_op": "repro.lazy.impl.heavy_op"}
+
+
+def test_call_through_lazy_export_resolves():
+    model = _model("pep562")
+    edges = _edges(model, "repro.user.consume")
+    assert edges == [("repro.lazy.impl.heavy_op", "call")]
+
+
+# -- annotation-driven typing ---------------------------------------------
+
+
+def test_param_annotation_types_the_local():
+    model = _model("dispatch")
+    fn = model.functions["repro.codecs.run_typed"]
+    assert model.local_types(fn)["codec"] == "repro.codecs.FastCodec"

@@ -115,6 +115,7 @@ def test_comment_chain_targets_first_code_line():
     assert res.diagnostics == []
 
 
-def test_syntax_error_reported_as_eng001():
+def test_syntax_error_reported_as_syntax_diagnostic():
     res = _lint("def broken(:\n", "src/repro/core/x.py")
-    assert [d.rule_id for d in res.diagnostics] == ["ENG-001"]
+    assert [d.rule_id for d in res.diagnostics] == ["SYNTAX"]
+    assert res.diagnostics[0].line == 1

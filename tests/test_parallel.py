@@ -281,3 +281,37 @@ class TestDispatchDeadline:
 
     def test_deadline_exceeded_is_timeout_error(self):
         assert issubclass(DeadlineExceededError, TimeoutError)
+
+
+class TestTimeoutFallbackWarning:
+    """The off-main-thread timeout warning fires exactly once, even when
+    many service threads hit the fallback path simultaneously."""
+
+    def test_warning_is_one_shot_under_contention(self, monkeypatch):
+        import threading
+
+        import repro.parallel as par
+
+        calls = []
+        calls_lock = threading.Lock()
+
+        def _count(*args, **kwargs):
+            with calls_lock:
+                calls.append(args)
+
+        monkeypatch.setattr(par.warnings, "warn", _count)
+        monkeypatch.setattr(par, "_timeout_fallback_warned", False)
+
+        n = 8
+        barrier = threading.Barrier(n)
+
+        def _hit():
+            barrier.wait()
+            par._warn_timeout_fallback()
+
+        threads = [threading.Thread(target=_hit) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
