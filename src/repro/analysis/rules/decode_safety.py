@@ -58,6 +58,21 @@ SERVICE_ALLOWED_CATCHES = ALLOWED_CATCHES | frozenset({
     "CodecFailureError", "DeadlineExceededError",
 })
 
+#: Cluster infrastructure (``repro.service.{cluster,router,supervise}``):
+#: its handlers sit on the raw-socket side of the service boundary —
+#: forwarding requests to shard processes, probing their health — so the
+#: transport exception family joins *their* closed vocabulary. The
+#: discipline still applies: every such catch must fold the failure into
+#: ``ShardUnavailableError`` (or ``ConnectionError`` for probes), never
+#: swallow it.
+CLUSTER_PATH = re.compile(
+    r"(^|/)src/repro/service/(cluster|router|supervise)\.py$")
+CLUSTER_ALLOWED_CATCHES = SERVICE_ALLOWED_CATCHES | frozenset({
+    "ShardUnavailableError",
+    "ConnectionError", "OSError", "TimeoutError",
+    "HTTPException", "IncompleteReadError",
+})
+
 
 def _exception_names(node: ast.expr | None) -> list[tuple[ast.AST, str | None]]:
     """Flatten ``except A`` / ``except (A, B)`` into [(node, dotted-name)]."""
@@ -153,6 +168,9 @@ class ServiceHandlerCatchDiscipline(Rule):
     default_paths = ("src/repro/service/**",)
 
     def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        allowed = (CLUSTER_ALLOWED_CATCHES
+                   if CLUSTER_PATH.search(ctx.relpath)
+                   else SERVICE_ALLOWED_CATCHES)
         for fn, _ancestors in walk_functions(ctx.tree):
             if not HANDLER_NAME.match(fn.name):
                 continue
@@ -174,8 +192,7 @@ class ServiceHandlerCatchDiscipline(Rule):
                             "declared ServiceError explicitly")
                         continue
                     short = name.rsplit(".", 1)[-1]
-                    if (name not in SERVICE_ALLOWED_CATCHES
-                            and short not in SERVICE_ALLOWED_CATCHES):
+                    if name not in allowed and short not in allowed:
                         yield self.diag(
                             ctx, expr if hasattr(expr, "lineno") else node,
                             f"service handler {fn.name}() catches {name}, "

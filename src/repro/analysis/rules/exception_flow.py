@@ -8,7 +8,12 @@ covered by the declared vocabulary.
 Entry points and their vocabularies:
 
 * ``repro.service`` handlers (``do_*`` / ``handle_*``) — may raise
-  :class:`ServiceError` subclasses or ``DECODE_ERRORS`` members.
+  :class:`ServiceError` subclasses or ``DECODE_ERRORS`` members; the
+  cluster infrastructure modules (``cluster`` / ``router`` /
+  ``supervise``) additionally declare the transport family
+  (``ConnectionError`` / ``OSError`` / ``TimeoutError``), since their
+  handlers speak raw sockets to shard processes and their callers
+  absorb exactly those.
 * the ``repro.parallel`` public API — ``DECODE_ERRORS`` members plus the
   module's own error types (``ParallelJobError``,
   ``DeadlineExceededError``) and ``TypeError`` for contract violations.
@@ -64,6 +69,13 @@ PARALLEL_API = ("compress_chunked", "decompress_chunked",
 PARALLEL_EXTRA_VOCAB = ("TypeError", "TimeoutError")
 CODEC_MODULE_PREFIXES = ("repro.core", "repro.baselines")
 CODEC_EXTRA_VOCAB = ("TypeError",)
+#: Cluster infrastructure handlers (router forwarding, supervisor
+#: probes) additionally speak raw sockets to shard processes, so the
+#: transport family is part of their declared contract — their callers
+#: (the router's dispatch, the probe loop) absorb exactly these.
+CLUSTER_MODULES = ("repro.service.cluster", "repro.service.router",
+                   "repro.service.supervise")
+CLUSTER_EXTRA_VOCAB = ("ConnectionError", "OSError", "TimeoutError")
 
 _MAX_ROUNDS = 40
 
@@ -364,7 +376,11 @@ def iter_entry_points(model: ProjectModel):
                       or fn.module.startswith("repro.service."))
         in_codec = any(fn.module == p or fn.module.startswith(p + ".")
                        for p in CODEC_MODULE_PREFIXES)
-        if in_service and HANDLER_NAME.match(fn.name):
+        if fn.module in CLUSTER_MODULES and HANDLER_NAME.match(fn.name):
+            vocab = _vocab_closure(
+                model, service_err + decode + list(CLUSTER_EXTRA_VOCAB))
+            yield fn, vocab, "cluster transport vocabulary"
+        elif in_service and HANDLER_NAME.match(fn.name):
             vocab = _vocab_closure(model, service_err + decode)
             yield fn, vocab, "ServiceError/DECODE_ERRORS vocabulary"
         elif fn.module == PARALLEL_MODULE and fn.name in PARALLEL_API:

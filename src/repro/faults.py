@@ -17,6 +17,7 @@ Fault spec grammar (the CLI's ``--inject-faults`` argument)::
              | KIND (':' key '=' value)*
     KIND    := 'crash' | 'slow' | 'bitflip' | 'truncate' | 'outage'
              | 'drop' | 'kill' | 'stall' | 'bloberr' | 'abort'
+             | 'shardkill'
 
 Clauses and their parameters (all optional, with defaults):
 
@@ -47,6 +48,12 @@ bloberr   ``p`` (1.0), ``op`` (``read`` | ``write`` | ``any``,
 abort     ``p`` (1.0) — the client vanishes mid-request: the
           service drops the connection without a response and
           must clean up without corrupting anything.
+shardkill ``p`` (1.0), ``shard`` (target shard index; -1 =
+          derive from the hash, default -1), ``only`` — at drill
+          step ``index``, SIGKILL one shard of the service
+          cluster mid-request. The decision (fire? which shard?)
+          is a pure function of ``(seed, index)``, so the
+          shard-kill chaos drill replays byte-identically.
 ========  =======================================================
 
 Example: ``seed=42;crash:p=0.3;bitflip:p=1:n=2;outage:at=5:dur=2``;
@@ -74,7 +81,7 @@ __all__ = [
 ]
 
 _KINDS = ("crash", "slow", "bitflip", "truncate", "outage", "drop", "kill",
-          "stall", "bloberr", "abort")
+          "stall", "bloberr", "abort", "shardkill")
 
 #: Allowed parameters (and their types) per fault kind. ``only`` (where
 #: accepted) pins the fault to a single subject index — job index, blob
@@ -90,6 +97,7 @@ _PARAMS: dict[str, dict[str, type]] = {
     "stall": {"p": float, "delay": float, "only": int},
     "bloberr": {"p": float, "op": str, "only": int},
     "abort": {"p": float, "only": int},
+    "shardkill": {"p": float, "shard": int, "only": int},
 }
 
 #: Valid values for bloberr's ``op`` parameter.
@@ -106,6 +114,7 @@ _DEFAULTS: dict[str, dict] = {
     "stall": {"p": 1.0, "delay": 0.25},
     "bloberr": {"p": 1.0, "op": "any"},
     "abort": {"p": 1.0},
+    "shardkill": {"p": 1.0, "shard": -1},
 }
 
 
@@ -329,6 +338,27 @@ class FaultInjector:
         if clause is None or not self._applies(clause, index):
             return False
         return _uniform(self.seed, "abort", index) < clause["p"]
+
+    def shard_kill(self, index: int, n_shards: int = 1) -> int | None:
+        """SIGKILL a cluster shard at drill step ``index``? Which one?
+
+        Returns the doomed shard's index, or ``None``. Pure in
+        ``(seed, index, n_shards)``: an explicit ``shard=`` parameter
+        pins the victim; otherwise it is hash-derived, so the same seed
+        always condemns the same shard — the drill and its expectation
+        model agree on the victim without communicating.
+        """
+        clause = self._clause("shardkill")
+        if clause is None or not self._applies(clause, index):
+            return None
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if _uniform(self.seed, "shardkill", index) >= clause["p"]:
+            return None
+        if clause["shard"] >= 0:
+            return int(clause["shard"]) % n_shards
+        return int(_stable_u64(self.seed, "shardkill.target", index)
+                   % n_shards)
 
     # ------------------------------------------------------------------ #
     # WAN faults (consumed by repro.transfer.network).

@@ -7,16 +7,24 @@ parallel dispatch), a content-addressed digest-verified blob store that
 degrades damaged reads to salvage decodes, and per-codec circuit breakers
 that shed into machine-readable 503s while ``/estimate`` and healthy
 codecs keep serving. ``python -m repro.service serve`` runs it;
+``--shards N`` scales it out to a supervised cluster — N shard processes
+owning consistent-hash partitions of the keyspace behind one router
+port, with crash detection, bounded-backoff restarts, a crash-loop
+breaker, graceful drain, and hedged reads (``repro.service.cluster``).
 ``python -m repro.service drill`` replays a seeded chaos schedule against
-a live instance and asserts the whole degradation matrix
+a live instance and asserts the whole degradation matrix — including the
+``shardkill`` phase that SIGKILLs a shard mid-request
 (see ``docs/SERVICE.md``).
 """
 
 from repro.service.app import ServiceConfig, ServiceServer
-from repro.service.blobstore import BlobStore, blob_key
+from repro.service.blobstore import BlobStore, KeyRing, blob_key, shard_for_key
 from repro.service.breakers import BreakerBoard, CodecBreaker
 from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.cluster import ClusterConfig, ClusterServer
 from repro.service.drill import DrillClock, run_drill
+from repro.service.router import ClusterRouter
+from repro.service.supervise import ShardSupervisor
 from repro.service.schemas import (
     SERVICE_ERRORS,
     BadRequestError,
@@ -29,13 +37,20 @@ from repro.service.schemas import (
     QueueFullError,
     RateLimitedError,
     ServiceError,
+    ShardUnavailableError,
 )
 
 __all__ = [
     "ServiceConfig",
     "ServiceServer",
+    "ClusterConfig",
+    "ClusterServer",
+    "ClusterRouter",
+    "ShardSupervisor",
     "BlobStore",
+    "KeyRing",
     "blob_key",
+    "shard_for_key",
     "BreakerBoard",
     "CodecBreaker",
     "AdmissionController",
@@ -51,6 +66,7 @@ __all__ = [
     "BreakerOpenError",
     "BlobIOError",
     "BlobCorruptError",
+    "ShardUnavailableError",
     "DeadlineError",
     "CodecFailureError",
 ]

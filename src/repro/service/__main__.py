@@ -2,33 +2,56 @@
 
 Subcommands::
 
-    serve   start the HTTP service (Ctrl-C to stop)
+    serve   start the HTTP service (SIGTERM/SIGINT drain gracefully)
+    shard   one cluster shard (internal: spawned by the supervisor)
     drill   run the deterministic chaos drill and exit 0/1
 
 ``serve`` options mirror :class:`repro.service.app.ServiceConfig`;
 ``--inject-faults`` accepts the :mod:`repro.faults` spec grammar
-(including the service kinds ``stall`` / ``bloberr`` / ``abort``), and
-``--serve-metrics PORT`` additionally starts the Prometheus exporter so
-queue/breaker/shed gauges are scrapeable while the service runs.
+(including the service kinds ``stall`` / ``bloberr`` / ``abort`` /
+``shardkill``), and ``--serve-metrics PORT`` additionally starts the
+Prometheus exporter so queue/breaker/shed gauges are scrapeable while
+the service runs. ``serve --shards N`` (N > 1) starts the supervised
+cluster instead of a single process: N shard processes behind one
+router port, with crash recovery and keyspace-partitioned routing
+(see ``docs/SERVICE.md``).
+
+Shutdown is signal-driven, not poll-driven: ``serve`` and ``shard``
+install SIGTERM/SIGINT handlers that trip one event; the main thread
+waits on it, then runs the full drain path — stop accepting, finish
+in-flight work (bounded by ``--drain-deadline``), flush telemetry,
+exit 0 — so ``kill -TERM`` and Ctrl-C are equally graceful and leave
+no orphan shard processes behind.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
-import time
+import threading
 
 __all__ = ["main"]
+
+
+def _install_stop_handlers(stop: threading.Event) -> None:
+    """Route SIGTERM and SIGINT into ``stop`` (main thread only)."""
+    def _on_signal(signum, frame):  # noqa: ARG001 -- signal API shape
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
 
 
 def _serve(args) -> int:
     from repro.faults import parse_fault_spec
     from repro.obs import trace
-    from repro.service.app import ServiceConfig, ServiceServer
 
-    faults = None
-    if args.inject_faults:
-        faults = parse_fault_spec(args.inject_faults)
+    # install the drain handlers before anything is listening, so a
+    # signal racing startup still takes the graceful path
+    stop = threading.Event()
+    _install_stop_handlers(stop)
+    faults_spec = args.inject_faults
     if trace.get_run() is None:
         trace.start_run(tags={"command": "service.serve"})
     exporter = None
@@ -37,37 +60,89 @@ def _serve(args) -> int:
 
         exporter = MetricsServer(port=args.serve_metrics).start()
         print(f"metrics on {exporter.url}/metrics", file=sys.stderr)
-    server = ServiceServer(ServiceConfig(
-        host=args.host, port=args.port, store_root=args.store,
-        max_queue=args.max_queue, rate=args.rate, burst=args.burst,
-        breaker_threshold=args.breaker_threshold,
-        breaker_cooldown=args.breaker_cooldown,
-        default_deadline=args.deadline, faults=faults)).start()
-    print(f"compression service on {server.url} "
+
+    if args.shards > 1:
+        from repro.service.cluster import ClusterConfig, ClusterServer
+
+        server = ClusterServer(ClusterConfig(
+            n_shards=args.shards, host=args.host, port=args.port,
+            store_root=args.store, max_queue=args.max_queue,
+            rate=args.rate, burst=args.burst,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            default_deadline=args.deadline,
+            drain_deadline=args.drain_deadline,
+            fault_spec=faults_spec)).start()
+        what = f"sharded compression service ({args.shards} shards)"
+    else:
+        from repro.service.app import ServiceConfig, ServiceServer
+
+        faults = parse_fault_spec(faults_spec) if faults_spec else None
+        server = ServiceServer(ServiceConfig(
+            host=args.host, port=args.port, store_root=args.store,
+            max_queue=args.max_queue, rate=args.rate, burst=args.burst,
+            breaker_threshold=args.breaker_threshold,
+            breaker_cooldown=args.breaker_cooldown,
+            default_deadline=args.deadline,
+            drain_deadline=args.drain_deadline, faults=faults)).start()
+        what = "compression service"
+    print(f"{what} on {server.url} "
           f"(POST /compress /decompress /estimate; GET /health /ready)",
           file=sys.stderr)
+
     try:
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
+        stop.wait()
+    except KeyboardInterrupt:  # SIGINT delivered before the handler took
         pass
-    finally:
-        server.stop()
-        if exporter is not None:
-            exporter.stop()
+    print("draining: completing in-flight requests and flushing telemetry",
+          file=sys.stderr)
+    server.stop()
+    if exporter is not None:
+        exporter.stop()
+    if trace.get_run() is not None:
+        trace.end_run()
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-service",
-        description="compression-as-a-service over the repro codecs")
-    sub = parser.add_subparsers(dest="command", required=True)
+def _shard(args) -> int:
+    """One supervised shard (internal; see ``repro.service.cluster``)."""
+    from repro.faults import parse_fault_spec
+    from repro.obs import trace
+    from repro.runtime import atomic_write
+    from repro.service.app import ServiceConfig, ServiceServer
 
-    p = sub.add_parser("serve", help="start the HTTP service")
+    stop = threading.Event()
+    _install_stop_handlers(stop)
+    faults = parse_fault_spec(args.inject_faults) if args.inject_faults \
+        else None
+    if trace.get_run() is None:
+        trace.start_run(tags={"command": "service.shard",
+                              "shard": str(args.index)})
+    server = ServiceServer(ServiceConfig(
+        host=args.host, port=0, store_root=args.store,
+        max_queue=args.max_queue, rate=args.rate, burst=args.burst,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        default_deadline=args.deadline,
+        drain_deadline=args.drain_deadline,
+        partition=(args.index, args.shards), faults=faults)).start()
+    if args.port_file:
+        atomic_write(args.port_file, f"{server.port}\n")
+    print(f"shard {args.index}/{args.shards} on {server.url}",
+          file=sys.stderr)
+
+    try:
+        stop.wait()
+    except KeyboardInterrupt:
+        pass
+    server.stop()
+    if trace.get_run() is not None:
+        trace.end_run()
+    return 0
+
+
+def _service_options(p) -> None:
     p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=8765,
-                   help="port to bind (default 8765; 0 = ephemeral)")
     p.add_argument("--store", default="blobstore",
                    help="blob store directory (default ./blobstore)")
     p.add_argument("--max-queue", type=int, default=8,
@@ -82,24 +157,63 @@ def main(argv: list[str] | None = None) -> int:
                    help="seconds an open breaker waits before one probe")
     p.add_argument("--deadline", type=float, default=30.0,
                    help="default per-request deadline (X-Deadline overrides)")
+    p.add_argument("--drain-deadline", type=float, default=10.0,
+                   help="max seconds to finish in-flight work on shutdown")
     p.add_argument("--inject-faults", default=None, metavar="SPEC",
                    help="deterministic fault spec (see repro.faults)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="compression-as-a-service over the repro codecs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="start the HTTP service")
+    _service_options(p)
+    p.add_argument("--port", type=int, default=8765,
+                   help="port to bind (default 8765; 0 = ephemeral)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="shard processes behind one router port "
+                        "(default 1 = single-process service)")
     p.add_argument("--serve-metrics", type=int, default=None, metavar="PORT",
                    help="also start the Prometheus /metrics exporter")
+
+    s = sub.add_parser(
+        "shard", help="one cluster shard (internal: run via serve --shards)")
+    _service_options(s)
+    s.add_argument("--index", type=int, required=True,
+                   help="this shard's keyspace partition index")
+    s.add_argument("--shards", type=int, required=True,
+                   help="total shard count in the cluster")
+    s.add_argument("--port-file", default=None, metavar="FILE",
+                   help="write the bound port here (atomic)")
 
     d = sub.add_parser("drill", help="run the deterministic chaos drill")
     d.add_argument("--seed", type=int, default=9)
     d.add_argument("--report", default=None, metavar="FILE",
                    help="write the drill report JSON here")
+    d.add_argument("--phases", default=None, metavar="P1,P2",
+                   help="comma-separated phase subset (default: all); "
+                        "e.g. --phases shardkill")
     d.add_argument("--quiet", action="store_true")
 
     args = parser.parse_args(argv)
     if args.command == "serve":
+        if args.shards < 1:
+            parser.error("--shards must be >= 1")
         return _serve(args)
+    if args.command == "shard":
+        if args.shards < 1 or not 0 <= args.index < args.shards:
+            parser.error("need 0 <= --index < --shards")
+        return _shard(args)
     from repro.service.drill import run_drill
 
+    phases = None
+    if args.phases:
+        phases = tuple(p.strip() for p in args.phases.split(",") if p.strip())
     code, _ = run_drill(seed=args.seed, report_path=args.report,
-                        verbose=not args.quiet)
+                        verbose=not args.quiet, phases=phases)
     return code
 
 

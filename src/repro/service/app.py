@@ -75,6 +75,8 @@ class ServiceConfig:
     breaker_threshold: int = 3
     breaker_cooldown: float = 30.0
     default_deadline: float = 30.0  # seconds; X-Deadline overrides
+    drain_deadline: float = 10.0  # stop(): max seconds to finish in-flight
+    partition: tuple[int, int] | None = None  # (shard index, shard count)
     faults: FaultInjector | None = None
     clock: object = None  # injectable monotonic clock (drills)
 
@@ -91,7 +93,8 @@ class ServiceServer:
         self.config = config or ServiceConfig()
         clock = self.config.clock
         self.store = BlobStore(self.config.store_root,
-                               faults=self.config.faults)
+                               faults=self.config.faults,
+                               partition=self.config.partition)
         self.admission = AdmissionController(
             max_queue=self.config.max_queue, rate=self.config.rate,
             burst=self.config.burst, clock=clock)
@@ -107,27 +110,32 @@ class ServiceServer:
         self._started = threading.Event()
         self._error: BaseException | None = None
         self._executor: ThreadPoolExecutor | None = None
+        self._inflight = 0  # mutated on the loop thread only
+        self._lifecycle = threading.Lock()
         self._t0 = time.monotonic()
 
     # ------------------------------------------------------------------ #
     # lifecycle (mirrors repro.obs.server.MetricsServer)
     def start(self) -> "ServiceServer":
-        if self._thread is not None:
-            raise RuntimeError("service already started")
-        self._started.clear()
-        self._error = None
-        self._loop = None
-        self._stop = None
-        self.port = None
-        self._thread = threading.Thread(
-            target=lambda: asyncio.run(self._serve()),
-            name="repro-service", daemon=True)
-        self._thread.start()
+        with self._lifecycle:
+            if self._thread is not None:
+                raise RuntimeError("service already started")
+            self._started.clear()
+            self._error = None
+            self._loop = None
+            self._stop = None
+            self.port = None
+            self._thread = threading.Thread(
+                target=lambda: asyncio.run(self._serve()),
+                name="repro-service", daemon=True)
+            self._thread.start()
         if not self._started.wait(timeout=10.0):
             raise RuntimeError("service failed to start within 10s")
         if self._error is not None:
-            self._thread.join()
-            self._thread = None
+            with self._lifecycle:
+                thread, self._thread = self._thread, None
+            if thread is not None:
+                thread.join()
             raise RuntimeError(
                 f"service failed to bind {self.config.host}:"
                 f"{self.config.port}") from self._error
@@ -140,19 +148,30 @@ class ServiceServer:
             except RuntimeError:  # loop already closed
                 pass
 
-    def join(self, timeout: float = 10.0) -> None:
-        thread = self._thread
+    def join(self, timeout: float = 30.0) -> None:
+        with self._lifecycle:
+            thread = self._thread
         if thread is None:
             return
         thread.join(timeout=timeout)
         if thread.is_alive():
             raise RuntimeError(
                 f"service thread did not exit within {timeout}s")
-        self._thread = None
+        with self._lifecycle:
+            if self._thread is thread:
+                self._thread = None
 
     def stop(self) -> None:
-        if self._thread is None:
-            return
+        """Drain and stop the server.
+
+        Idempotent and safe from any state: stop before start, double
+        stop, stop after a failed bind, and concurrent stops from a
+        supervisor's crash-cleanup path are all no-ops beyond the first
+        effective one.
+        """
+        with self._lifecycle:
+            if self._thread is None:
+                return
         self.close()
         self.join()
 
@@ -180,6 +199,27 @@ class ServiceServer:
         try:
             async with server:
                 await self._stop.wait()
+                # graceful drain: stop accepting first, then let already-
+                # admitted requests finish writing their responses
+                # (bounded by drain_deadline) so a TERM'd server answers
+                # everyone it accepted.
+                server.close()
+                loop = asyncio.get_running_loop()
+                deadline = loop.time() + max(
+                    0.0, float(self.config.drain_deadline))
+                # wait_closed() on 3.12.1+ also waits for every active
+                # connection, so a wedged client could hold it forever —
+                # bound the whole drain by drain_deadline instead.
+                try:
+                    await asyncio.wait_for(
+                        server.wait_closed(),
+                        timeout=max(0.0, deadline - loop.time()))
+                except asyncio.TimeoutError:
+                    inc_counter("service.drain.deadline_hit")
+                # older interpreters return from wait_closed immediately:
+                # the in-flight counter covers handler completion there.
+                while self._inflight > 0 and loop.time() < deadline:
+                    await asyncio.sleep(0.02)
         finally:
             self._executor.shutdown(wait=True)
 
@@ -192,6 +232,14 @@ class ServiceServer:
     # ------------------------------------------------------------------ #
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        self._inflight += 1  # loop-thread only: no lock needed
+        try:
+            await self._handle_inner(reader, writer)
+        finally:
+            self._inflight -= 1
+
+    async def _handle_inner(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
         try:
             method, path, headers, body = await self._read_request(reader)
         except (ValueError, ConnectionError, OSError, asyncio.TimeoutError):
@@ -210,6 +258,11 @@ class ServiceServer:
         if drop:  # injected client abort: vanish without a response
             writer.close()
             return
+        if self.config.partition is not None:
+            # which shard served: the cluster router relays this so
+            # drills and operators can see routing decisions.
+            extra_headers = [*extra_headers,
+                             ("X-Repro-Shard", str(self.config.partition[0]))]
         payload = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
         head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
                 "Content-Type: application/json; charset=utf-8",

@@ -1,0 +1,186 @@
+"""The sharded compression service: supervisor + router in one handle.
+
+:class:`ClusterServer` is the process-level composition root. It
+
+1. spawns ``n_shards`` shard processes (``python -m repro.service shard
+   --index i --shards n ...``), each a full single-process
+   :class:`~repro.service.app.ServiceServer` on an ephemeral port with
+   ``partition=(i, n)`` scoping its slice of the shared blob-store root;
+2. runs a :class:`~repro.service.supervise.ShardSupervisor` probe loop
+   over them (crash detection, bounded-backoff restart, crash-loop
+   breaker);
+3. fronts them with a :class:`~repro.service.router.ClusterRouter`
+   speaking the exact single-process API on one port.
+
+Shards report their bound port through a *port file* under
+``<store_root>/.cluster/`` (written with ``atomic_write`` by the shard,
+so the supervisor never reads a torn value; stale files from a previous
+incarnation are unlinked before each spawn). The dot-directory is
+invisible to the blob store's listings, so runtime state never pollutes
+the keyspace.
+
+Per-shard fault specs (``shard_fault_specs``) let a chaos drill give one
+shard a pathological personality — e.g. a 100%-stall clause on the
+victim so the router's hedge fires — while its siblings stay honest.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runtime import atomic_write
+from repro.service.router import ClusterRouter
+from repro.service.supervise import ShardSupervisor
+
+__all__ = ["ClusterConfig", "ClusterServer"]
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables for one :class:`ClusterServer`."""
+
+    n_shards: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0  # router port; shards always bind ephemeral ports
+    store_root: str | Path = "blobstore"
+    max_queue: int = 8
+    rate: float = 50.0
+    burst: int = 20
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    default_deadline: float = 30.0
+    drain_deadline: float = 10.0
+    hedge_budget: float = 0.25
+    forward_timeout: float = 60.0
+    probe_interval: float = 0.25
+    probe_fail_threshold: int = 3
+    start_timeout: float = 30.0
+    backoff_base: float = 0.25
+    backoff_cap: float = 4.0
+    max_restarts: int = 5
+    restart_window: float = 60.0
+    #: fault spec string applied to every shard (``--inject-faults``).
+    fault_spec: str | None = None
+    #: per-shard overrides: index -> spec string (wins over fault_spec).
+    shard_fault_specs: dict[int, str] = field(default_factory=dict)
+
+
+class ClusterServer:
+    """Supervised shard fleet + router, with one start/stop lifecycle."""
+
+    def __init__(self, config: ClusterConfig | None = None) -> None:
+        self.config = config or ClusterConfig()
+        if self.config.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.store_root = Path(self.config.store_root)
+        self.run_dir = self.store_root / ".cluster"
+        self.supervisor = ShardSupervisor(
+            self.config.n_shards,
+            spawn=self._spawn_shard,
+            port_of=self._port_of,
+            probe_interval=self.config.probe_interval,
+            probe_fail_threshold=self.config.probe_fail_threshold,
+            start_timeout=self.config.start_timeout,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+            max_restarts=self.config.max_restarts,
+            restart_window=self.config.restart_window,
+            drain_deadline=self.config.drain_deadline)
+        self.router = ClusterRouter(
+            self.supervisor, host=self.config.host, port=self.config.port,
+            hedge_budget=self.config.hedge_budget,
+            forward_timeout=self.config.forward_timeout)
+
+    # ------------------------------------------------------------------ #
+    def _port_file(self, index: int) -> Path:
+        return self.run_dir / f"shard-{index}.port"
+
+    def _port_of(self, index: int) -> int | None:
+        try:
+            text = self._port_file(index).read_text(encoding="ascii").strip()
+        except OSError:
+            return None
+        return int(text) if text.isdigit() else None
+
+    def _shard_fault_spec(self, index: int) -> str | None:
+        return self.config.shard_fault_specs.get(index, self.config.fault_spec)
+
+    def _spawn_shard(self, index: int) -> subprocess.Popen:
+        cfg = self.config
+        port_file = self._port_file(index)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        # a stale port file from the previous incarnation would make the
+        # supervisor probe a dead port forever; the shard rewrites it
+        # (atomically) once bound.
+        port_file.unlink(missing_ok=True)
+        cmd = [sys.executable, "-m", "repro.service", "shard",
+               "--index", str(index), "--shards", str(cfg.n_shards),
+               "--host", cfg.host,
+               "--store", str(self.store_root),
+               "--port-file", str(port_file),
+               "--max-queue", str(cfg.max_queue),
+               "--rate", str(cfg.rate), "--burst", str(cfg.burst),
+               "--breaker-threshold", str(cfg.breaker_threshold),
+               "--breaker-cooldown", str(cfg.breaker_cooldown),
+               "--deadline", str(cfg.default_deadline),
+               "--drain-deadline", str(cfg.drain_deadline)]
+        spec = self._shard_fault_spec(index)
+        if spec:
+            cmd.extend(["--inject-faults", spec])
+        return subprocess.Popen(cmd, stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+
+    # ------------------------------------------------------------------ #
+    def start(self, *, wait_healthy: float = 30.0) -> "ClusterServer":
+        """Spawn shards, start supervision, bind the router.
+
+        Blocks up to ``wait_healthy`` seconds for every shard to answer
+        its first probe, so callers get a serving cluster back (pass 0
+        to skip the wait).
+        """
+        self.supervisor.start()
+        try:
+            if wait_healthy > 0:
+                self._await_healthy(wait_healthy)
+            self.router.start()
+        except Exception:
+            self.supervisor.stop()
+            raise
+        return self
+
+    def _await_healthy(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.supervisor.healthy_shards()) == self.config.n_shards:
+                return
+            time.sleep(0.05)
+        table = self.supervisor.table()
+        raise RuntimeError(
+            f"cluster not healthy within {timeout}s: "
+            + ", ".join(f"shard {r['index']}={r['state']}" for r in table))
+
+    def stop(self) -> None:
+        """Drain the router, then the shards. Idempotent."""
+        self.router.drain()
+        self.router.stop()
+        self.supervisor.stop()
+        for index in range(self.config.n_shards):
+            self._port_file(index).unlink(missing_ok=True)
+
+    @property
+    def url(self) -> str:
+        return self.router.url
+
+    @property
+    def port(self) -> int | None:
+        return self.router.port
+
+    def write_run_marker(self) -> None:
+        """Drop a human-readable marker of the cluster topology."""
+        lines = [f"n_shards={self.config.n_shards}",
+                 f"store={self.store_root}"]
+        atomic_write(self.run_dir / "topology", "\n".join(lines) + "\n")

@@ -1,7 +1,8 @@
 """Deterministic chaos drill: replay a seeded fault schedule, assert invariants.
 
 ``python -m repro.service drill --seed 9`` starts live in-process servers
-and drives them through four phases over real HTTP:
+and drives them through four phases over real HTTP (plus an opt-in
+``shardkill`` cluster phase — see below):
 
 * **soup** — a mixed seeded schedule (worker crashes, blob I/O errors,
   client aborts, handler stalls) against sequential requests. The drill
@@ -21,6 +22,16 @@ and drives them through four phases over real HTTP:
   asserts the overflow sheds with 429 ``queue_full``, exhausts a frozen
   token bucket for 429 ``rate_limited``, and forces a 504 by stalling
   past an explicit ``X-Deadline``.
+* **shardkill** (``--phases shardkill``; not in the default set because
+  it spawns real shard processes) — starts a two-shard supervised
+  cluster, SIGKILLs the seed-chosen victim shard *mid-request*, and
+  asserts: the in-flight request on the dead shard maps to 503
+  ``not_ready`` + Retry-After (never a raw connection reset); reads of
+  victim-owned keys fail over to the sibling; a stalled victim gets
+  hedged within the latency budget; ``/ready`` reports the degraded
+  keyspace partition while the shard is down; the supervisor restarts it
+  within the modeled backoff bound; and a full-store digest sweep shows
+  zero collateral corruption afterwards.
 
 Everything the drill decides is a pure function of the seed (the clock is
 injected and advanced manually; concurrent batches are order-normalized),
@@ -46,12 +57,17 @@ from repro.faults import FaultInjector, parse_fault_spec
 from repro.obs import trace
 from repro.obs.server import MetricsServer
 from repro.service.app import ServiceConfig, ServiceServer
+from repro.service.blobstore import BlobStore, shard_for_key
+from repro.service.cluster import ClusterConfig, ClusterServer
 from repro.service.schemas import encode_array
 
 __all__ = ["DrillClock", "run_drill", "main"]
 
 _SOUP_STEPS = 30
 _BREAKER_COOLDOWN = 60.0
+_CLUSTER_SHARDS = 2
+_VICTIM_STALL = 0.6  # seconds every victim POST stalls (>> hedge budget)
+_HEDGE_BUDGET = 0.15
 
 
 class DrillClock:
@@ -406,6 +422,200 @@ def _overload_phase(seed: int, root: Path, events: list, check: _Check) -> dict:
     return {}
 
 
+def _fetch_text(port: int, path: str) -> str:
+    """GET a plain-text endpoint (``/metrics`` is not JSON)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        return conn.getresponse().read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+def _shardkill_phase(seed: int, root: Path, events: list,
+                     check: _Check) -> dict:
+    """Kill a shard mid-request; assert classified failure + bounded recovery.
+
+    Every decision is deterministic: the victim is the pure seeded
+    ``shardkill`` fault function; blob keys (hence ring ownership) depend
+    only on the drilled field contents; round-robin placement follows the
+    fixed request sequence. Events record statuses and roles, never
+    timings, ports, or pids.
+    """
+    injector = parse_fault_spec(f"seed={seed};shardkill:p=1")
+    victim = injector.shard_kill(0, n_shards=_CLUSTER_SHARDS)
+    check.expect(victim is not None, "shardkill: seeded clause did not fire")
+    sibling = (victim + 1) % _CLUSTER_SHARDS
+    events.append({"phase": "shardkill", "label": "victim-chosen",
+                   "n_shards": _CLUSTER_SHARDS})
+
+    cluster = ClusterServer(ClusterConfig(
+        n_shards=_CLUSTER_SHARDS, store_root=root / "cluster",
+        max_queue=8, rate=1000.0, burst=100000,
+        probe_interval=0.1, probe_fail_threshold=3,
+        backoff_base=0.5, backoff_cap=1.0,
+        start_timeout=20.0, max_restarts=5, restart_window=60.0,
+        hedge_budget=_HEDGE_BUDGET, drain_deadline=5.0,
+        # the victim stalls every POST: slow enough to hedge around, and
+        # a guaranteed in-flight window for the mid-request SIGKILL
+        shard_fault_specs={
+            victim: f"seed={seed};stall:p=1:delay={_VICTIM_STALL}"},
+    )).start()
+
+    def post(label, path, doc, expected, reason=None):
+        status, body, hdrs = _request(cluster.port, "POST", path, doc,
+                                      {"X-Client": "shardkill"})
+        check.status(label, status, expected, reason, body)
+        events.append({"phase": "shardkill", "label": label, "path": path,
+                       "expected": expected, "status": status,
+                       "reason": (body or {}).get("error")})
+        return body, hdrs
+
+    try:
+        # ---- seed the keyspace until both partitions own a key -------- #
+        keys: list[str] = []
+        step = 0
+        while step < 12 and (
+                not keys
+                or len({shard_for_key(k, _CLUSTER_SHARDS)
+                        for k in keys}) < _CLUSTER_SHARDS):
+            body, _ = post(f"compress[{step}]", "/compress",
+                           _compress_doc(50 + step, "cliz"), 200)
+            if body.get("key"):
+                keys.append(body["key"])
+            step += 1
+        owners = {shard_for_key(k, _CLUSTER_SHARDS) for k in keys}
+        check.expect(owners == set(range(_CLUSTER_SHARDS)),
+                     f"shardkill: keyspace not spread ({len(owners)} of "
+                     f"{_CLUSTER_SHARDS} partitions own a key)")
+        vkey = next(k for k in keys
+                    if shard_for_key(k, _CLUSTER_SHARDS) == victim)
+
+        # ---- owner routing: everything reads back through the router -- #
+        for i, key in enumerate(keys):
+            post(f"read[{i}]", "/decompress", {"key": key}, 200)
+
+        # ---- hedging: a stalled owner is outrun by its sibling -------- #
+        status, body, hdrs = _request(cluster.port, "POST", "/decompress",
+                                      {"key": vkey},
+                                      {"X-Client": "shardkill"})
+        check.status("hedge", status, 200, None, body)
+        served = hdrs.get("x-repro-shard")
+        check.expect(served == str(sibling),
+                     f"hedge: served by shard {served!r}, expected the "
+                     f"sibling (victim stalls {_VICTIM_STALL}s, budget "
+                     f"{_HEDGE_BUDGET}s)")
+        events.append({"phase": "shardkill", "label": "hedge",
+                       "status": status,
+                       "served_by": "sibling" if served == str(sibling)
+                       else "other"})
+
+        # ---- steer round-robin so the next compress hits the victim --- #
+        for attempt in range(_CLUSTER_SHARDS):
+            _, hdrs = post(f"steer[{attempt}]", "/compress",
+                           _compress_doc(70 + attempt, "cliz"), 200)
+            if hdrs.get("x-repro-shard") == str(sibling):
+                break
+
+        # ---- SIGKILL the victim mid-request --------------------------- #
+        inflight: dict = {}
+
+        def racing():
+            inflight["resp"] = _request(
+                cluster.port, "POST", "/compress",
+                _compress_doc(90, "cliz"), {"X-Client": "race"})
+
+        racer = threading.Thread(target=racing)
+        racer.start()
+        time.sleep(_VICTIM_STALL / 2)  # surely in flight, surely not done
+        t_kill = time.monotonic()
+        pid = cluster.supervisor.kill(victim)
+        check.expect(pid is not None, "shardkill: no victim process to kill")
+        racer.join(timeout=30.0)
+        status, body, hdrs = inflight["resp"]
+        check.status("kill-inflight", status, 503, "not_ready", body)
+        check.expect(status != "aborted",
+                     "shardkill: in-flight request saw a raw connection "
+                     "reset instead of a classified 503")
+        check.expect("retry-after" in hdrs,
+                     "shardkill: in-flight 503 is missing Retry-After")
+        events.append({"phase": "shardkill", "label": "kill-inflight",
+                       "expected": 503, "status": status,
+                       "reason": (body or {}).get("error"),
+                       "retry_after_present": "retry-after" in hdrs})
+
+        # ---- reads of victim-owned keys fail over to the sibling ------ #
+        post("failover-read", "/decompress", {"key": vkey}, 200)
+
+        # ---- /ready reports the degraded keyspace --------------------- #
+        saw_degraded = False
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            status, body, hdrs = _request(cluster.port, "GET", "/ready")
+            if status == 503 and body.get("error") == "not_ready":
+                saw_degraded = bool(body.get("reasons"))
+                break
+            time.sleep(0.02)
+        check.expect(saw_degraded,
+                     "shardkill: /ready never reported the dead shard's "
+                     "keyspace partition as degraded")
+        events.append({"phase": "shardkill", "label": "ready-degraded",
+                       "expected": 503, "status": 503 if saw_degraded
+                       else "never", "reason": "not_ready"})
+
+        # ---- supervisor restarts within the modeled backoff ----------- #
+        bound = cluster.supervisor.max_recovery_seconds()
+        recovered = False
+        while time.monotonic() - t_kill < bound:
+            status, body, _ = _request(cluster.port, "GET", "/ready")
+            if status == 200:
+                recovered = True
+                break
+            time.sleep(0.05)
+        check.expect(recovered,
+                     f"shardkill: victim not healthy again within the "
+                     f"modeled {bound:.1f}s recovery bound")
+        events.append({"phase": "shardkill", "label": "restart",
+                       "recovered_within_model": recovered})
+
+        # ---- the reborn shard serves; the whole keyspace reads -------- #
+        for i, key in enumerate(keys):
+            post(f"post-restart read[{i}]", "/decompress", {"key": key}, 200)
+
+        # ---- zero collateral corruption ------------------------------- #
+        intact = BlobStore(root / "cluster").verify_all()
+        damaged = sorted(k for k, ok in intact.items() if not ok)
+        check.expect(not damaged,
+                     f"shardkill: collateral blob corruption: {damaged}")
+        check.expect(set(keys) <= set(intact),
+                     "shardkill: compressed keys missing from the store")
+        events.append({"phase": "shardkill", "label": "verify-all",
+                       "damaged": damaged, "keys_present": True})
+
+        # ---- cluster telemetry: one scrape covers the fleet ----------- #
+        text = _fetch_text(cluster.port, "/metrics")
+        wanted = ["repro_service_cluster_shard_state",
+                  "repro_service_cluster_shard_restarts_total",
+                  "repro_service_cluster_restarts_total",
+                  "repro_service_cluster_hedges_total"]
+        missing = [w for w in wanted if w not in text]
+        check.expect(not missing,
+                     f"shardkill: /metrics missing families: {missing}")
+        status, body, _ = _request(cluster.port, "GET", "/health")
+        check.status("cluster /health", status, 200)
+        check.expect(len(body.get("shards", [])) == _CLUSTER_SHARDS
+                     and "backoff_model" in body,
+                     "shardkill: /health lacks shard table or backoff model")
+        events.append({"phase": "shardkill", "label": "telemetry",
+                       "metrics_missing": missing})
+        restarts = sum(r["restarts"] for r in cluster.supervisor.table())
+    finally:
+        cluster.stop()
+    return {"n_shards": _CLUSTER_SHARDS, "keys": len(keys),
+            "restarts": restarts,
+            "backoff_model": cluster.supervisor.backoff_model()}
+
+
 def _metrics_scrape(check: _Check) -> dict:
     """The live gauges must be visible on the existing /metrics exporter."""
     exporter = MetricsServer(port=0).start()
@@ -425,9 +635,32 @@ def _metrics_scrape(check: _Check) -> dict:
 
 
 # ---------------------------------------------------------------------- #
+#: All drill phases, in run order. The default set excludes ``shardkill``
+#: (it spawns real shard processes); select it with ``--phases``.
+_PHASE_FNS = {
+    "soup": _soup_phase,
+    "breaker": _breaker_phase,
+    "salvage": _salvage_phase,
+    "overload": _overload_phase,
+    "shardkill": _shardkill_phase,
+}
+_DEFAULT_PHASES = ("soup", "breaker", "salvage", "overload")
+
+
 def run_drill(seed: int = 9, report_path: str | None = None,
-              verbose: bool = True) -> tuple[int, dict]:
-    """Run the full drill; returns (exit code, report dict)."""
+              verbose: bool = True,
+              phases: tuple[str, ...] | None = None) -> tuple[int, dict]:
+    """Run the drill; returns (exit code, report dict).
+
+    ``phases`` selects a subset by name (default: every single-process
+    phase; pass ``("shardkill",)`` for the cluster kill drill, or any
+    combination — run order always follows :data:`_PHASE_FNS`).
+    """
+    selected = _DEFAULT_PHASES if phases is None else tuple(phases)
+    unknown = [p for p in selected if p not in _PHASE_FNS]
+    if unknown or not selected:
+        raise ValueError(
+            f"unknown drill phases {unknown}; known: {list(_PHASE_FNS)}")
     own_run = trace.get_run() is None
     if own_run:
         trace.start_run(tags={"command": "service.drill", "seed": str(seed)})
@@ -436,13 +669,15 @@ def run_drill(seed: int = 9, report_path: str | None = None,
     t0 = time.monotonic()
     with tempfile.TemporaryDirectory(prefix="repro-drill-") as tmp:
         root = Path(tmp)
-        phases = {
-            "soup": _soup_phase(seed, root, events, check),
-            "breaker": _breaker_phase(seed, root, events, check),
-            "salvage": _salvage_phase(seed, root, events, check),
-            "overload": _overload_phase(seed, root, events, check),
+        phase_reports = {
+            name: fn(seed, root, events, check)
+            for name, fn in _PHASE_FNS.items() if name in selected
         }
-    phases["metrics"] = _metrics_scrape(check)
+    if all(p in selected for p in _DEFAULT_PHASES):
+        # the gauge families the scrape asserts are spread across the
+        # in-process phases (shed/429 come from overload, breaker state
+        # from breaker, ...), so only a full default run can satisfy it
+        phase_reports["metrics"] = _metrics_scrape(check)
     if own_run:
         trace.end_run()
     event_digest = hashlib.sha256(
@@ -452,7 +687,8 @@ def run_drill(seed: int = 9, report_path: str | None = None,
         "ok": not check.failures,
         "invariants_passed": check.passed,
         "failures": check.failures,
-        "phases": phases,
+        "phases_run": list(selected),
+        "phases": phase_reports,
         "events": events,
         "event_digest": event_digest,
         "wall_seconds": round(time.monotonic() - t0, 3),
@@ -480,10 +716,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=9)
     parser.add_argument("--report", default=None, metavar="FILE",
                         help="write the drill report JSON here")
+    parser.add_argument("--phases", default=None, metavar="P1,P2",
+                        help="comma-separated phase subset "
+                             f"(known: {','.join(_PHASE_FNS)})")
     parser.add_argument("--quiet", action="store_true")
     args = parser.parse_args(argv)
+    phases = None
+    if args.phases:
+        phases = tuple(p.strip() for p in args.phases.split(",") if p.strip())
     code, _ = run_drill(seed=args.seed, report_path=args.report,
-                        verbose=not args.quiet)
+                        verbose=not args.quiet, phases=phases)
     return code
 
 

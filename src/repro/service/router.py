@@ -1,0 +1,502 @@
+"""Cluster front door: one port, N shards, no raw connection resets.
+
+The :class:`ClusterRouter` is a thin asyncio proxy exposing the exact
+single-process service API (``/compress`` ``/decompress`` ``/estimate``
+``/health`` ``/ready`` plus ``/metrics``) while fanning work out to the
+shard processes a :class:`~repro.service.supervise.ShardSupervisor`
+keeps alive:
+
+* ``/decompress`` routes by **keyspace ownership**: the blob key's ring
+  owner serves the read, falling back along
+  :meth:`~repro.service.blobstore.KeyRing.successors` when the owner is
+  down (any shard can read any blob — the store root is shared — so
+  failover costs nothing but locality).
+* ``/compress`` and ``/estimate`` route **round-robin** over healthy
+  shards (a blob's key is unknowable before compression; content
+  addressing makes any placement correct).
+* **Hedging**: the idempotent endpoints (``/decompress``,
+  ``/estimate``) that sit on a slow shard past ``hedge_budget`` seconds
+  get a second copy sent to the next candidate; first response wins and
+  the loser is cancelled. ``/compress`` is never hedged — it is
+  idempotent too, but duplicating codec work to dodge latency is a poor
+  trade, and the chaos drill needs exactly-one-shard semantics for it.
+* Every transport-level failure against a shard (connection refused
+  mid-restart, reset mid-SIGKILL, timeout) surfaces as a classified
+  :class:`~repro.service.schemas.ShardUnavailableError` — 503 +
+  ``Retry-After`` derived from the supervisor's backoff model — never a
+  raw reset to the client.
+
+The router never runs codec work and never blocks its loop: forwarding
+is pure stream I/O, and every supervisor call it makes is a
+snapshot/flag under a lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.obs import inc_counter, set_gauge, trace
+from repro.obs.prom import CONTENT_TYPE, render_run, sanitize_metric_name
+from repro.service.blobstore import KeyRing
+from repro.service.schemas import (
+    NotFoundError,
+    ServiceError,
+    ShardUnavailableError,
+)
+from repro.service.supervise import ShardSupervisor
+
+__all__ = ["ClusterRouter", "do_forward"]
+
+_MAX_BODY = 96 * 1024 * 1024
+_MAX_HEADER_LINES = 100
+_REASONS = {200: "OK", 206: "Partial Content", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            502: "Bad Gateway", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+#: Response headers relayed from shard to client (all else is hop-local).
+_RELAY_HEADERS = ("content-type", "retry-after", "x-repro-shard")
+#: Endpoints safe to hedge/fail over: repeating one changes nothing.
+_IDEMPOTENT = frozenset({"/decompress", "/estimate"})
+_WORK_PATHS = ("/compress", "/decompress", "/estimate")
+
+
+async def do_forward(port: int, method: str, path: str,
+                     headers: dict[str, str], body: bytes, *,
+                     timeout: float = 30.0,
+                     host: str = "127.0.0.1") -> tuple[int, dict, bytes]:
+    """Forward one request to a shard; ``(status, headers, body)`` back.
+
+    The cluster's declared transport translation: a connection refused,
+    reset, short read, malformed response, or timeout while talking to
+    the shard raises :class:`ShardUnavailableError` — the caller decides
+    whether to fail over, hedge, or surface the 503.
+    """
+    try:
+        return await asyncio.wait_for(
+            _forward_raw(host, port, method, path, headers, body),
+            timeout=timeout)
+    except (ConnectionError, EOFError, OSError, ValueError) as exc:
+        raise ShardUnavailableError(
+            f"shard on port {port} failed mid-request: "
+            f"{type(exc).__name__}: {exc}") from exc
+    except (asyncio.TimeoutError, TimeoutError) as exc:
+        raise ShardUnavailableError(
+            f"shard on port {port} did not answer within {timeout}s"
+        ) from exc
+
+
+async def _forward_raw(host, port, method, path, headers, body):
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = [f"{method} {path} HTTP/1.1",
+                f"Host: {host}:{port}",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        head.extend(f"{k}: {v}" for k, v in headers.items()
+                    if k.lower() not in ("host", "content-length",
+                                         "connection"))
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ValueError(f"malformed shard status line {status_line!r}")
+        status = int(parts[1])
+        resp_headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            resp_headers[name.strip().lower()] = value.strip()
+        length = int(resp_headers.get("content-length", "0") or 0)
+        if length < 0 or length > _MAX_BODY:
+            raise ValueError(f"bad shard content-length {length}")
+        payload = await reader.readexactly(length) if length else b""
+        return status, resp_headers, payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class ClusterRouter:
+    """Threaded-asyncio router over a supervised shard fleet."""
+
+    def __init__(self, supervisor: ShardSupervisor, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 hedge_budget: float = 0.25,
+                 forward_timeout: float = 60.0) -> None:
+        self.supervisor = supervisor
+        self.host = host
+        self.ring = KeyRing(supervisor.n_shards)
+        self.hedge_budget = float(hedge_budget)
+        self.forward_timeout = float(forward_timeout)
+        self.port: int | None = None
+        self._requested_port = int(port)
+        self._rr = 0  # loop-thread only
+        self._draining = False
+        self._t0 = time.monotonic()
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._error: BaseException | None = None
+        self._lifecycle = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle (same contract as ServiceServer)
+    def start(self) -> "ClusterRouter":
+        with self._lifecycle:
+            if self._thread is not None:
+                raise RuntimeError("router already started")
+            self._started.clear()
+            self._error = None
+            self._loop = None
+            self._stop_event = None
+            self.port = None
+            self._thread = threading.Thread(
+                target=lambda: asyncio.run(self._serve()),
+                name="repro-cluster-router", daemon=True)
+            self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("router failed to start within 10s")
+        if self._error is not None:
+            with self._lifecycle:
+                thread, self._thread = self._thread, None
+            if thread is not None:
+                thread.join()
+            raise RuntimeError(
+                f"router failed to bind {self.host}:"
+                f"{self._requested_port}") from self._error
+        return self
+
+    def drain(self) -> None:
+        """Start refusing new work (503 + Retry-After) without stopping."""
+        self._draining = True
+
+    def close(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass
+
+    def join(self, timeout: float = 30.0) -> None:
+        with self._lifecycle:
+            thread = self._thread
+        if thread is None:
+            return
+        thread.join(timeout=timeout)
+        if thread.is_alive():
+            raise RuntimeError(f"router thread did not exit within {timeout}s")
+        with self._lifecycle:
+            if self._thread is thread:
+                self._thread = None
+
+    def stop(self) -> None:
+        """Idempotent: safe on a never-started or already-stopped router."""
+        with self._lifecycle:
+            if self._thread is None:
+                return
+        self.close()
+        self.join()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------ #
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
+        try:
+            server = await asyncio.start_server(
+                self._handle, self.host, self._requested_port)
+        except OSError as exc:
+            self._error = exc
+            self._started.set()
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with server:
+            await self._stop_event.wait()
+            server.close()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, headers, body = await self._read_request(reader)
+        except (ValueError, ConnectionError, OSError, asyncio.TimeoutError):
+            writer.close()
+            return
+        try:
+            status, resp_headers, payload = await self._dispatch(
+                method, path, headers, body)
+        except ServiceError as err:
+            status, resp_headers, payload = self._render_error(err)
+        except Exception as exc:  # noqa: BLE001 -- backstop: a router bug
+            # must degrade to a 500 body, never a dropped connection
+            inc_counter("service.cluster.http.500")
+            doc = {"error": "internal", "status": 500,
+                   "message": f"{type(exc).__name__}: {exc}"}
+            payload = (json.dumps(doc, sort_keys=True) + "\n").encode()
+            status, resp_headers = 500, {"content-type": "application/json"}
+        head = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}",
+                f"Content-Length: {len(payload)}",
+                "Connection: close"]
+        for name in _RELAY_HEADERS:
+            if name in resp_headers:
+                head.append(f"{name.title()}: {resp_headers[name]}")
+        try:
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                         + payload)
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _read_request(self, reader):
+        request = await asyncio.wait_for(reader.readline(), timeout=10.0)
+        parts = request.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        method, target = parts[0].upper(), parts[1].split("?", 1)[0]
+        headers: dict[str, str] = {}
+        for _ in range(_MAX_HEADER_LINES):
+            line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or 0)
+        if length < 0 or length > _MAX_BODY:
+            raise ValueError(f"bad content-length {length}")
+        body = await asyncio.wait_for(reader.readexactly(length),
+                                      timeout=30.0) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _render_error(err: ServiceError):
+        payload = (json.dumps(err.to_dict(), sort_keys=True) + "\n").encode()
+        headers = {"content-type": "application/json; charset=utf-8"}
+        if err.retry_after is not None:
+            headers["retry-after"] = str(max(1, int(err.retry_after + 0.999)))
+        inc_counter(f"service.cluster.http.{err.status}")
+        return err.status, headers, payload
+
+    # ------------------------------------------------------------------ #
+    async def _dispatch(self, method, path, headers, body):
+        if path in ("/health", "/ready", "/metrics"):
+            if method != "GET":
+                doc = {"error": "method_not_allowed",
+                       "message": f"{path} only supports GET"}
+                return (405,
+                        {"content-type": "application/json; charset=utf-8"},
+                        (json.dumps(doc, sort_keys=True) + "\n").encode())
+            if path == "/metrics":
+                return (200, {"content-type": CONTENT_TYPE},
+                        self._metrics_text().encode("utf-8"))
+            return self._health(path)
+        if path not in _WORK_PATHS:
+            raise NotFoundError(
+                f"unknown path {path!r}; try /compress, /decompress, "
+                "/estimate, /health, /ready, /metrics")
+        if method != "POST":
+            doc = {"error": "method_not_allowed",
+                   "message": f"{path} only supports POST"}
+            return (405, {"content-type": "application/json; charset=utf-8"},
+                    (json.dumps(doc, sort_keys=True) + "\n").encode())
+        if self._draining:
+            raise ShardUnavailableError(
+                "cluster is draining; no new work accepted",
+                retry_after=5.0)
+        status, resp_headers, payload = await self._route(
+            method, path, headers, body)
+        inc_counter(f"service.cluster.http.{status}")
+        return status, resp_headers, payload
+
+    # ------------------------------------------------------------------ #
+    def _candidates(self, path: str, body: bytes) -> list[int]:
+        """Forward order for one request: owner-first or round-robin."""
+        healthy = set(self.supervisor.healthy_shards())
+        if path == "/decompress":
+            key = self._key_from_body(body)
+            if key is not None:
+                order = self.ring.successors(key)
+                return [s for s in order if s in healthy]
+        n = self.supervisor.n_shards
+        start = self._rr
+        self._rr = (self._rr + 1) % n
+        return [s for s in ((start + i) % n for i in range(n))
+                if s in healthy]
+
+    @staticmethod
+    def _key_from_body(body: bytes) -> str | None:
+        """The blob key a /decompress body names, if parseable.
+
+        Unparseable bodies route round-robin and let the shard render
+        the authoritative 400 — the router never rejects requests.
+        """
+        try:
+            doc = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            return None
+        key = doc.get("key") if isinstance(doc, dict) else None
+        return key if isinstance(key, str) and key else None
+
+    async def _route(self, method, path, headers, body):
+        candidates = self._candidates(path, body)
+        if not candidates:
+            raise ShardUnavailableError(
+                "no healthy shard available",
+                retry_after=self.supervisor.retry_after_hint(),
+                detail={"degraded": self.supervisor.degraded_partitions()})
+        primary, rest = candidates[0], candidates[1:]
+        try:
+            if path in _IDEMPOTENT and rest and self.hedge_budget > 0:
+                return await self._forward_hedged(
+                    primary, rest[0], method, path, headers, body)
+            return await self._forward_once(
+                primary, method, path, headers, body)
+        except ShardUnavailableError:
+            self.supervisor.note_failure(primary)
+            if path in _IDEMPOTENT:
+                for backup in rest:
+                    try:
+                        resp = await self._forward_once(
+                            backup, method, path, headers, body)
+                    except ShardUnavailableError:
+                        self.supervisor.note_failure(backup)
+                        continue
+                    inc_counter("service.cluster.failovers")
+                    return resp
+            raise ShardUnavailableError(
+                f"shard {primary} failed mid-request"
+                + ("" if path in _IDEMPOTENT
+                   else "; retry the non-idempotent request"),
+                retry_after=self.supervisor.retry_after_hint(primary),
+                detail={"shard": primary}) from None
+
+    async def _forward_once(self, shard, method, path, headers, body):
+        port = self.supervisor.shard_port(shard)
+        if port is None:
+            raise ShardUnavailableError(f"shard {shard} is not serving")
+        inc_counter(f"service.cluster.forward.{shard}")
+        return await do_forward(port, method, path, headers, body,
+                                timeout=self.forward_timeout)
+
+    async def _forward_hedged(self, primary, backup, method, path,
+                              headers, body):
+        """Primary forward, hedged to ``backup`` past the latency budget.
+
+        First completed *successful* forward wins; the loser is
+        cancelled. Both failing re-raises the primary's error into the
+        normal failover path.
+        """
+        first = asyncio.ensure_future(self._forward_once(
+            primary, method, path, headers, body))
+        done, _ = await asyncio.wait({first}, timeout=self.hedge_budget)
+        if done:
+            return first.result()  # fast path; raises into failover
+        inc_counter("service.cluster.hedges")
+        second = asyncio.ensure_future(self._forward_once(
+            backup, method, path, headers, body))
+        pending = {first, second}
+        failure: ShardUnavailableError | None = None
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED)
+                for task in done:
+                    try:
+                        result = task.result()
+                    except ShardUnavailableError as exc:
+                        loser = primary if task is first else backup
+                        self.supervisor.note_failure(loser)
+                        failure = failure or exc
+                        continue
+                    if task is second:
+                        inc_counter("service.cluster.hedge_wins")
+                    return result
+            raise failure if failure is not None else ShardUnavailableError(
+                f"hedged forward to shards {primary}/{backup} failed")
+        finally:
+            for task in (first, second):
+                if not task.done():
+                    task.cancel()
+
+    # ------------------------------------------------------------------ #
+    def _health(self, path: str):
+        table = self.supervisor.table()
+        degraded = self.supervisor.degraded_partitions()
+        set_gauge("service.cluster.degraded", float(len(degraded)))
+        doc = {
+            "status": "ok" if not degraded else "degraded",
+            "role": "router",
+            "uptime_seconds": round(time.monotonic() - self._t0, 3),
+            "shards": table,
+            "backoff_model": self.supervisor.backoff_model(),
+            "draining": self._draining,
+        }
+        headers = {"content-type": "application/json; charset=utf-8"}
+        if path == "/health":
+            return (200,
+                    headers,
+                    (json.dumps(doc, sort_keys=True) + "\n").encode())
+        if degraded or self._draining:
+            doc["error"] = "not_ready"
+            doc["reasons"] = (["draining"] if self._draining else []) + [
+                f"shard {i} {table[i]['state']}: keyspace partition "
+                f"{i}/{self.supervisor.n_shards} degraded" for i in degraded]
+            retry = self.supervisor.retry_after_hint()
+            headers["retry-after"] = str(max(1, int(retry + 0.999)))
+            return (503,
+                    headers,
+                    (json.dumps(doc, sort_keys=True) + "\n").encode())
+        return (200,
+                headers,
+                (json.dumps(doc, sort_keys=True) + "\n").encode())
+
+    def _metrics_text(self) -> str:
+        """Router-process metrics plus per-shard labeled aggregates.
+
+        The labeled families are synthesized from the supervisor's
+        cached shard health docs, so one scrape of the router covers the
+        fleet: state, restarts, request and blob counts per shard.
+        """
+        out = [render_run(trace.get_run())]
+        rows = self.supervisor.table()
+        fams = [
+            ("service.cluster.shard.state", "gauge", "state",
+             "supervision state code (0 stopped..5 dead)"),
+            ("service.cluster.shard.restarts", "counter", "restarts",
+             "respawns of this shard slot"),
+            ("service.cluster.shard.requests", "gauge", "requests",
+             "requests served, from the shard's own /health"),
+            ("service.cluster.shard.blobs", "gauge", "blobs",
+             "blobs visible to the shard's store"),
+        ]
+        from repro.service.supervise import STATE_CODES
+        for series, kind, field, help_text in fams:
+            name = sanitize_metric_name(series, "repro_")
+            if kind == "counter":
+                name += "_total"
+            out.append(f"# HELP {name} {help_text}")
+            out.append(f"# TYPE {name} {kind}")
+            for row in rows:
+                value = (STATE_CODES[row["state"]] if field == "state"
+                         else row.get(field))
+                if value is None:
+                    continue
+                out.append(f'{name}{{shard="{row["index"]}"}} '
+                           f"{float(value):g}")
+        return "\n".join(out) + "\n"

@@ -29,6 +29,7 @@ __all__ = [
     "BreakerOpenError",
     "BlobIOError",
     "BlobCorruptError",
+    "ShardUnavailableError",
     "DeadlineError",
     "CodecFailureError",
     "SERVICE_ERRORS",
@@ -98,6 +99,19 @@ class BlobCorruptError(ServiceError):
 
     status = 502
     reason = "blob_corrupt"
+
+
+class ShardUnavailableError(ServiceError):
+    """The shard owning the request is down, restarting, or draining.
+
+    The cluster router maps every transport-level failure against a
+    shard (connection refused mid-restart, reset mid-kill, no healthy
+    successor) to this error, so clients racing a shard death see a
+    classified 503 with ``Retry-After`` — never a raw connection reset.
+    """
+
+    status = 503
+    reason = "not_ready"
 
 
 class DeadlineError(ServiceError):

@@ -1,0 +1,16 @@
+"""Known-bad even at a cluster path: the transport grant does not open
+the door to arbitrary catches (DEC-003)."""
+
+
+def do_forward(port, body):
+    try:
+        return _send(port, body)                 # noqa: F821 -- stub
+    except RuntimeError:                 # DEC-003: not transport, not declared
+        return None
+
+
+def handle_probe(port):
+    try:
+        return _fetch_health(port)               # noqa: F821 -- stub
+    except (MemoryError, Exception):     # DEC-003 twice: foreign + broad
+        return None

@@ -1,0 +1,27 @@
+"""Known-good *at a cluster path*: router/supervisor handlers speak raw
+sockets to shard processes, so the transport family is in their declared
+vocabulary — provided each catch folds the failure into the 503 error.
+
+The same file linted as a plain service handler module must fire DEC-003
+on every transport catch: the grant is scoped to the cluster modules.
+"""
+
+import http.client
+
+
+class ShardUnavailableError(Exception):
+    status = 503
+
+
+def do_forward(port, body):
+    try:
+        return _send(port, body)                     # noqa: F821 -- stub
+    except (ConnectionError, OSError, TimeoutError) as exc:
+        raise ShardUnavailableError(str(exc)) from exc
+
+
+def do_probe_shard(port):
+    try:
+        return _fetch_health(port)                   # noqa: F821 -- stub
+    except http.client.HTTPException as exc:
+        raise ConnectionError(str(exc)) from exc

@@ -1,0 +1,9 @@
+"""A cluster entry point leaking outside even the transport vocabulary."""
+
+
+def _misroute(port):
+    raise RuntimeError(f"no shard on {port}")
+
+
+def do_forward(port, body):
+    return _misroute(port)       # RuntimeError escapes: EXC-001

@@ -1,0 +1,9 @@
+"""A cluster entry point: transport escapes are in *its* vocabulary."""
+
+
+def _probe(port):
+    raise ConnectionError(f"shard on {port} unreachable")
+
+
+def do_probe_shard(port):
+    return _probe(port)          # ConnectionError: declared for cluster

@@ -119,7 +119,7 @@ def test_baseline_absorbs_whole_program_finding(tmp_path):
     assert not any(d.rule_id == "EXC-002" for d in result.diagnostics)
     assert any(d.rule_id == "EXC-002" for d in result.suppressed)
     # the EXC-001 findings are untouched
-    assert sum(d.rule_id == "EXC-001" for d in result.diagnostics) == 3
+    assert sum(d.rule_id == "EXC-001" for d in result.diagnostics) == 4
     assert not any(d.rule_id == "BAS-001" for d in result.diagnostics)
 
 

@@ -45,6 +45,12 @@ BAD_CORPUS = [
      {"DUR-001"}, 2),
     ("decode_safety/bad_service_catch.py", "src/repro/service/handlers.py",
      {"DEC-003"}, 3),
+    ("decode_safety/bad_cluster_catch.py", "src/repro/service/router.py",
+     {"DEC-003"}, 3),
+    # the transport grant is scoped to the cluster modules: the very file
+    # that is clean at a cluster path fires on every transport catch here
+    ("decode_safety/good_cluster_catch.py", "src/repro/service/handlers.py",
+     {"DEC-003"}, 4),
 ]
 
 GOOD_CORPUS = [
@@ -56,6 +62,7 @@ GOOD_CORPUS = [
     ("api_consistency/good_lazy_getattr.py", "src/repro/toy/__init__.py"),
     ("durability/good_atomic.py", "src/repro/io/report.py"),
     ("decode_safety/good_service_catch.py", "src/repro/service/handlers.py"),
+    ("decode_safety/good_cluster_catch.py", "src/repro/service/supervise.py"),
 ]
 
 

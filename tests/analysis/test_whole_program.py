@@ -18,7 +18,7 @@ FIXTURES = Path(__file__).parent / "fixtures" / "whole_program"
 
 #: (tree, expected rule-id -> finding count)
 WP_BAD = [
-    ("exc_bad", {"EXC-001": 3, "EXC-002": 1}),
+    ("exc_bad", {"EXC-001": 4, "EXC-002": 1}),
     ("res_bad", {"RES-001": 2}),
     ("conc_bad", {"CONC-001": 2, "CONC-002": 1, "CONC-003": 1}),
 ]
@@ -61,6 +61,17 @@ def test_exc_findings_name_type_and_origin():
     assert len(fetch) == 1
     assert "KeyError" in fetch[0]
     assert "repro.service.handlers._lookup" in fetch[0]   # the origin
+
+
+def test_exc_cluster_entry_checks_the_transport_vocabulary():
+    """The router fixture leaks RuntimeError — outside even the widened
+    cluster vocabulary, and the finding names that vocabulary."""
+    result = _run("exc_bad")
+    msgs = [d.message for d in _wp_diags(result) if d.rule_id == "EXC-001"]
+    fwd = [m for m in msgs if "do_forward" in m]
+    assert len(fwd) == 1
+    assert "RuntimeError" in fwd[0]
+    assert "cluster transport vocabulary" in fwd[0]
 
 
 def test_exc_dynamic_finding_names_the_unprovable_function():

@@ -237,3 +237,22 @@ class TestLifecycle:
         finally:
             srv.stop()
         assert first_port is not None
+
+    def test_stop_before_start_is_a_safe_noop(self, tmp_path):
+        srv = ServiceServer(ServiceConfig(store_root=tmp_path))
+        srv.stop()  # never started: nothing to tear down, nothing raised
+        srv.stop()
+        # and the server is still perfectly startable afterwards
+        srv.start()
+        try:
+            status, _, _ = call(srv.port, "GET", "/health")
+            assert status == 200
+        finally:
+            srv.stop()
+
+    def test_double_stop_after_start_is_idempotent(self, tmp_path):
+        srv = ServiceServer(ServiceConfig(store_root=tmp_path)).start()
+        srv.stop()
+        srv.stop()  # already stopped: no-op, no error
+        with pytest.raises(ConnectionError):
+            call(srv.port, "GET", "/health")  # really down, exactly once

@@ -70,3 +70,78 @@ def test_injected_write_error_stores_nothing(tmp_path):
     with pytest.raises(BlobIOError):
         store.put(b"doomed")
     assert store.count() == 0
+
+
+def test_stale_atomic_write_temp_is_litter_not_corruption(tmp_path):
+    store = BlobStore(tmp_path)
+    key = store.put(b"real blob")
+    # a writer that died mid-put leaves its same-dir temp file behind
+    fanout = store.path_for(key).parent
+    (fanout / f".{key}.12345.tmp").write_bytes(b"torn half-writ")
+    (fanout / "junk.tmp").write_bytes(b"other litter")
+    assert store.keys() == [key]  # listings never see temp files
+    assert store.count() == 1
+    intact = store.verify_all()
+    assert intact == {key: True}  # the janitor counts zero corruption
+    assert store.get(key) == b"real blob"
+
+
+def test_dot_directories_are_not_fanout_dirs(tmp_path):
+    store = BlobStore(tmp_path)
+    key = store.put(b"payload")
+    # cluster runtime state lives in a dot-dir under the same root
+    run_dir = tmp_path / ".cluster"
+    run_dir.mkdir()
+    (run_dir / "shard-0.port").write_text("12345\n")
+    assert store.keys() == [key]
+    assert all(store.verify_all().values())
+
+
+def test_concurrent_writer_commits_are_atomic(tmp_path):
+    """A reader racing many committing writers sees complete blobs or
+    nothing — never a torn payload (atomic_write's rename contract)."""
+    import threading
+
+    store = BlobStore(tmp_path)
+    payloads = [bytes([i]) * 4096 for i in range(24)]
+    expected = {blob_key(p): p for p in payloads}
+    stop = threading.Event()
+    torn: list[str] = []
+
+    def reader():
+        other = BlobStore(tmp_path)  # a second handle, like a sibling shard
+        while not stop.is_set():
+            for key, ok in other.verify_all().items():
+                if not ok:
+                    torn.append(key)
+
+    t = threading.Thread(target=reader)
+    t.start()
+    try:
+        writers = [threading.Thread(target=store.put, args=(p,))
+                   for p in payloads]
+        for w in writers:
+            w.start()
+        for w in writers:
+            w.join()
+    finally:
+        stop.set()
+        t.join()
+    assert torn == []  # no read ever saw a half-committed blob
+    assert sorted(store.keys()) == sorted(expected)
+    for key, payload in expected.items():
+        assert store.get(key) == payload
+
+
+def test_same_root_shared_by_two_partitions(tmp_path):
+    """Two shard stores over one root: same key -> same bytes, and each
+    partition's verify sweep covers exactly its owned slice."""
+    a = BlobStore(tmp_path, partition=(0, 2))
+    b = BlobStore(tmp_path, partition=(1, 2))
+    key = a.put(b"shared content")
+    assert b.put(b"shared content") == key  # idempotent across handles
+    assert a.get(key) == b.get(key) == b"shared content"
+    assert a.owns(key) != b.owns(key)  # exactly one owner
+    owner, other = (a, b) if a.owns(key) else (b, a)
+    assert owner.verify_all(owned_only=True) == {key: True}
+    assert other.verify_all(owned_only=True) == {}

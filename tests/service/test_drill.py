@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import trace
 from repro.service.drill import run_drill
 
@@ -36,3 +38,30 @@ def test_different_seed_changes_the_log(tmp_path):
                              verbose=False)
     assert rc1 == 0 and rc2 == 0
     assert report1["event_digest"] != report2["event_digest"]
+
+
+def test_phase_selection_and_validation(tmp_path):
+    trace.end_run()
+    with pytest.raises(ValueError, match="unknown drill phase"):
+        run_drill(seed=9, verbose=False, phases=("soup", "nope"))
+    rc, report = run_drill(seed=9, report_path=tmp_path / "one.json",
+                           verbose=False, phases=("salvage",))
+    assert rc == 0 and report["ok"]
+    assert report["phases_run"] == ["salvage"]
+    assert set(report["phases"]) == {"salvage"}  # no metrics scrape either
+
+
+def test_shardkill_phase_is_deterministic(tmp_path):
+    """The cluster phase: same seed -> same victim, same event log."""
+    trace.end_run()
+    rc1, report1 = run_drill(seed=9, report_path=tmp_path / "k1.json",
+                             verbose=False, phases=("shardkill",))
+    rc2, report2 = run_drill(seed=9, report_path=tmp_path / "k2.json",
+                             verbose=False, phases=("shardkill",))
+    assert rc1 == 0 and rc2 == 0
+    assert report1["ok"] and not report1["failures"]
+    assert report1["phases_run"] == ["shardkill"]
+    assert report1["event_digest"] == report2["event_digest"]
+    assert report1["events"] == report2["events"]
+    shard = report1["phases"]["shardkill"]
+    assert shard["restarts"] >= 1 and shard["n_shards"] == 2

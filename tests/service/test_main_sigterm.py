@@ -1,0 +1,108 @@
+"""``python -m repro.service serve`` drains gracefully on SIGTERM.
+
+Real subprocesses, real signals: the regression these tests pin is the
+old serve loop that only understood KeyboardInterrupt — ``kill -TERM``
+used to tear the process down through the interpreter's default handler,
+skipping the drain path entirely and (for a cluster) orphaning shards.
+"""
+
+import http.client
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+def _spawn_serve(tmp_path, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(
+        (os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))))) + "/src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.service", "serve", "--port", "0",
+         "--store", str(tmp_path / "store"), *extra],
+        env=env, stderr=subprocess.PIPE, text=True)
+    deadline = time.monotonic() + 60.0
+    port = None
+    lines = []
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line and proc.poll() is not None:
+            break
+        lines.append(line)
+        if "on http://127.0.0.1:" in line:
+            port = int(line.split("http://127.0.0.1:")[1].split()[0])
+            break
+    if port is None:
+        proc.kill()
+        raise AssertionError(f"serve never announced a port: {lines!r}")
+    return proc, port
+
+
+def _shard_pids_under(store: str) -> list[int]:
+    """Shard processes for *this* store, via /proc (no pgrep patterns
+    that could match the test runner itself)."""
+    pids = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            cmdline = open(f"/proc/{entry}/cmdline", "rb").read()
+        except OSError:
+            continue
+        args = cmdline.split(b"\0")
+        if (b"repro.service" in args and b"shard" in args
+                and store.encode() in cmdline):
+            pids.append(int(entry))
+    return pids
+
+
+def _ready(port: int) -> int:
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", "/ready")
+        resp = conn.getresponse()
+        resp.read()
+        return resp.status
+    finally:
+        conn.close()
+
+
+@pytest.mark.parametrize("sig", [signal.SIGTERM, signal.SIGINT])
+def test_single_process_serve_exits_zero_on_signal(tmp_path, sig):
+    proc, port = _spawn_serve(tmp_path)
+    try:
+        assert _ready(port) == 200
+        proc.send_signal(sig)
+        rc = proc.wait(timeout=30)
+        assert rc == 0
+        # the drain path ran: the announce is followed by the drain line
+        rest = proc.stderr.read()
+        assert "draining" in rest
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+def test_sharded_serve_sigterm_leaves_no_orphans(tmp_path):
+    proc, port = _spawn_serve(tmp_path, "--shards", "3")
+    store = str(tmp_path / "store")
+    try:
+        assert _ready(port) == 200
+        shard_pids = _shard_pids_under(store)
+        assert len(shard_pids) == 3
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        assert rc == 0
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and _shard_pids_under(store):
+            time.sleep(0.1)
+        assert _shard_pids_under(store) == []  # no orphan shard processes
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        for pid in _shard_pids_under(store):
+            os.kill(pid, signal.SIGKILL)

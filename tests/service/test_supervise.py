@@ -1,0 +1,292 @@
+"""ShardSupervisor state machine on fake clocks, procs, and probes."""
+
+import pytest
+
+from repro.obs import trace
+from repro.service.schemas import ShardUnavailableError
+from repro.service.supervise import STATE_CODES, ShardSupervisor
+
+
+@pytest.fixture(autouse=True)
+def clean_run():
+    trace.end_run()
+    yield
+    trace.end_run()
+
+
+class FakeProc:
+    """A process the harness can kill, crash, or keep alive."""
+
+    _next_pid = 1000
+
+    def __init__(self):
+        FakeProc._next_pid += 1
+        self.pid = FakeProc._next_pid
+        self.returncode = None
+        self.killed = False
+        self.terminated = False
+
+    def poll(self):
+        return self.returncode
+
+    def kill(self):
+        self.killed = True
+        self.returncode = -9
+
+    def terminate(self):
+        self.terminated = True
+        self.returncode = -15
+
+    def wait(self, timeout=None):
+        return self.returncode
+
+    def crash(self, code=1):
+        self.returncode = code
+
+
+class Harness:
+    """A supervisor wired to fakes; the test scripts every probe answer."""
+
+    def __init__(self, n_shards=2, **kw):
+        self.now = 0.0
+        self.procs: dict[int, list[FakeProc]] = {}
+        self.ports: dict[int, int | None] = {}
+        self.health: dict[int, object] = {}  # dict -> healthy, Exception -> fail
+        self.sup = ShardSupervisor(
+            n_shards,
+            spawn=self._spawn, port_of=self.ports.get, probe=self._probe,
+            clock=lambda: self.now, sleep=lambda dt: None,
+            probe_interval=0.25, probe_fail_threshold=3,
+            start_timeout=5.0, backoff_base=0.25, backoff_cap=4.0,
+            max_restarts=3, restart_window=60.0, **kw)
+
+    def _spawn(self, index):
+        proc = FakeProc()
+        self.procs.setdefault(index, []).append(proc)
+        self.ports[index] = 9000 + index
+        self.health.setdefault(index, {"status": "ok", "requests": 0})
+        return proc
+
+    def _probe(self, port):
+        answer = self.health[port - 9000]
+        if isinstance(answer, Exception):
+            raise answer
+        return answer
+
+    def proc(self, index) -> FakeProc:
+        return self.procs[index][-1]
+
+    def state(self, index) -> str:
+        return self.sup.handles[index].state
+
+    def tick(self, n=1, dt=0.25):
+        for _ in range(n):
+            self.now += dt
+            self.sup.probe_once()
+
+
+def test_start_probes_to_healthy():
+    h = Harness()
+    h.sup.start(thread=False)
+    assert [h.state(i) for i in range(2)] == ["starting", "starting"]
+    h.tick()
+    assert [h.state(i) for i in range(2)] == ["healthy", "healthy"]
+    assert h.sup.healthy_shards() == [0, 1]
+    assert h.sup.shard_port(0) == 9000
+
+
+def test_crash_restarts_with_backoff_schedule():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    delays = []
+    for _ in range(3):
+        h.proc(0).crash()
+        h.tick(dt=0.0)  # death detected immediately via poll()
+        assert h.state(0) == "backoff"
+        delays.append(h.sup.handles[0].next_restart_at - h.now)
+        h.now = h.sup.handles[0].next_restart_at
+        h.sup.probe_once()  # respawn fires exactly at the scheduled time
+        assert h.state(0) == "starting"
+        h.tick()
+        assert h.state(0) == "healthy"
+    # bounded exponential: base * 2^k
+    assert delays == [0.25, 0.5, 1.0]
+    assert h.sup.handles[0].restarts == 3
+    assert len(h.procs[0]) == 4
+
+
+def test_backoff_is_capped():
+    h = Harness(1)
+    # 10 allowed restarts inside a huge window, so the cap is reachable
+    h.sup.max_restarts = 10
+    h.sup.start(thread=False)
+    h.tick()
+    delays = []
+    for _ in range(6):
+        h.proc(0).crash()
+        h.sup.probe_once()
+        delays.append(h.sup.handles[0].next_restart_at - h.now)
+        h.now = h.sup.handles[0].next_restart_at
+        h.sup.probe_once()
+        h.tick()
+    assert delays == [0.25, 0.5, 1.0, 2.0, 4.0, 4.0]  # capped at 4.0
+
+
+def test_crash_loop_breaker_marks_dead():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    for _ in range(3):  # max_restarts inside the window
+        h.proc(0).crash()
+        h.sup.probe_once()
+        h.now = h.sup.handles[0].next_restart_at
+        h.sup.probe_once()
+        h.tick()
+    h.proc(0).crash()  # one more than the breaker allows
+    h.sup.probe_once()
+    assert h.state(0) == "dead"
+    assert h.sup.handles[0].next_restart_at is None
+    # the dead shard's keyspace is reported degraded; sibling unaffected
+    assert h.sup.degraded_partitions() == [0]
+    assert h.sup.healthy_shards() == [1]
+    h.tick(50)  # no spontaneous resurrection
+    assert h.state(0) == "dead"
+
+
+def test_old_crashes_age_out_of_the_window():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    for _ in range(3):
+        h.proc(0).crash()
+        h.sup.probe_once()
+        h.now = h.sup.handles[0].next_restart_at
+        h.sup.probe_once()
+        h.tick()
+        h.now += 61.0  # every crash leaves the 60s window before the next
+    h.proc(0).crash()
+    h.sup.probe_once()
+    assert h.state(0) == "backoff"  # not dead: stamps aged out
+
+
+def test_revive_gives_a_dead_shard_another_chance():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    for _ in range(4):
+        h.proc(0).crash()
+        h.sup.probe_once()
+        if h.sup.handles[0].next_restart_at is not None:
+            h.now = h.sup.handles[0].next_restart_at
+            h.sup.probe_once()
+            h.tick()
+    assert h.state(0) == "dead"
+    h.sup.revive(0)
+    h.tick()
+    assert h.state(0) == "healthy"
+    with pytest.raises(ShardUnavailableError):
+        h.sup.revive(0)  # only dead shards can be revived
+
+
+def test_probe_failures_escalate_to_kill_at_threshold():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    h.health[0] = ConnectionError("hung")
+    h.tick()
+    assert h.state(0) == "suspect"
+    assert h.sup.healthy_shards() == [1]  # suspects take no new traffic
+    h.tick()
+    assert h.state(0) == "suspect"
+    h.tick()  # third consecutive failure: treated as a hang
+    assert h.proc(0).killed or len(h.procs[0]) > 1
+    assert h.state(0) in ("backoff", "starting")
+    # recovery: the respawn probes healthy again
+    h.health[0] = {"status": "ok"}
+    h.now = h.sup.handles[0].next_restart_at or h.now
+    h.sup.probe_once()
+    h.tick()
+    assert h.state(0) == "healthy"
+    assert h.sup.handles[0].probe_failures == 0
+
+
+def test_one_probe_blip_recovers_without_restart():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    h.health[0] = ConnectionError("blip")
+    h.tick()
+    assert h.state(0) == "suspect"
+    h.health[0] = {"status": "ok"}
+    h.tick()
+    assert h.state(0) == "healthy"
+    assert len(h.procs[0]) == 1  # never restarted
+
+
+def test_start_timeout_counts_as_death():
+    h = Harness(1)
+    h.sup.start(thread=False)
+    h.ports[0] = None  # the shard never reports a port
+    h.tick(21)  # 5.25s > start_timeout=5.0
+    assert h.state(0) == "backoff"
+
+
+def test_note_failure_marks_suspect():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    h.sup.note_failure(0)
+    assert h.state(0) == "suspect"
+    assert h.sup.handles[0].probe_asap
+    h.tick()  # next probe succeeds: back to healthy
+    assert h.state(0) == "healthy"
+
+
+def test_stop_terminates_every_live_proc():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    procs = [h.proc(0), h.proc(1)]
+    h.sup.stop()
+    assert all(p.terminated for p in procs)
+    assert all(h.state(i) == "stopped" for i in range(2))
+    # stop again: idempotent
+    h.sup.stop()
+
+
+def test_table_and_models_are_machine_readable():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    table = h.sup.table()
+    assert [r["index"] for r in table] == [0, 1]
+    assert all(r["state"] == "healthy" and r["pid"] for r in table)
+    model = h.sup.backoff_model()
+    assert model["backoff_base_seconds"] == 0.25
+    assert model["max_restarts"] == 3
+    # the modeled recovery bound dominates one real detect+restart cycle
+    assert h.sup.max_recovery_seconds() > (
+        model["probe_interval_seconds"] * model["probe_fail_threshold"]
+        + model["backoff_cap_seconds"])
+    assert set(STATE_CODES) == {
+        "stopped", "starting", "healthy", "suspect", "backoff", "dead"}
+
+
+def test_retry_after_hint_tracks_backoff():
+    h = Harness()
+    h.sup.start(thread=False)
+    h.tick()
+    assert h.sup.retry_after_hint(0) == pytest.approx(0.25)
+    h.proc(0).crash()
+    h.sup.probe_once()
+    hint = h.sup.retry_after_hint(0)
+    # scheduled restart delay plus one probe round
+    assert hint == pytest.approx(0.25 + 0.25)
+    assert h.sup.retry_after_hint() == pytest.approx(0.25)  # sibling healthy
+
+
+def test_bad_shard_count_rejected():
+    with pytest.raises(ValueError):
+        ShardSupervisor(0, spawn=lambda i: FakeProc(),
+                        port_of=lambda i: None)

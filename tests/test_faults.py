@@ -204,3 +204,38 @@ class TestServiceFaults:
         assert inj.handler_delay(0) == 0.0
         assert not inj.blob_error("read", 0)
         assert not inj.abort_request(0)
+
+    def test_shard_kill_is_pure_and_seed_pinned(self):
+        inj = parse_fault_spec("seed=9;shardkill:p=1")
+        victim = inj.shard_kill(0, n_shards=2)
+        assert victim in (0, 1)
+        # pure: same (seed, index, n_shards) -> same victim, every time
+        assert all(parse_fault_spec("seed=9;shardkill:p=1")
+                   .shard_kill(0, n_shards=2) == victim for _ in range(5))
+        # a different seed is free to condemn the other shard
+        other = parse_fault_spec("seed=21;shardkill:p=1").shard_kill(0, 2)
+        assert other in (0, 1)
+
+    def test_shard_kill_explicit_target_wins(self):
+        inj = parse_fault_spec("seed=9;shardkill:p=1:shard=1")
+        assert inj.shard_kill(0, n_shards=4) == 1
+        assert inj.shard_kill(7, n_shards=4) == 1  # pinned at every step
+        # the pin is taken modulo the fleet size
+        assert parse_fault_spec("seed=9;shardkill:p=1:shard=5") \
+            .shard_kill(0, n_shards=2) == 1
+
+    def test_shard_kill_gated_by_probability_and_only(self):
+        never = parse_fault_spec("seed=9;shardkill:p=0")
+        assert all(never.shard_kill(i, 2) is None for i in range(10))
+        pinned = parse_fault_spec("seed=9;shardkill:p=1:only=3")
+        hits = [pinned.shard_kill(i, 2) is not None for i in range(5)]
+        assert hits == [False, False, False, True, False]
+
+    def test_shard_kill_rejects_empty_fleet(self):
+        inj = parse_fault_spec("seed=9;shardkill:p=1")
+        with pytest.raises(ValueError):
+            inj.shard_kill(0, n_shards=0)
+
+    def test_without_shardkill_clause_nothing_dies(self):
+        inj = parse_fault_spec("seed=9;stall:p=1")
+        assert inj.shard_kill(0, n_shards=2) is None
